@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at ``quick``
+scale (see DESIGN.md's per-experiment index) and prints the rows/series it
+produces, so the run log doubles as a reproduction report.  Expensive
+artefacts (profiles, trained agents) are cached in one session-scoped
+context shared across benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, ExperimentScale
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "benchmark: paper-reproduction benchmark")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Quick-scale experiment context shared by all benchmarks."""
+    return ExperimentContext(scale=ExperimentScale.quick(), seed=7)
+
+
+def print_table(title: str, rows) -> None:
+    """Pretty-print a list of dict rows under a title."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        if isinstance(row, dict):
+            cells = "  ".join(
+                f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in row.items()
+            )
+            print(f"  {cells}")
+        else:
+            print(f"  {row}")

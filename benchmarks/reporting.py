@@ -1,0 +1,17 @@
+"""Reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows) -> None:
+    """Pretty-print a list of dict rows under a title."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        if isinstance(row, dict):
+            cells = "  ".join(
+                f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in row.items()
+            )
+            print(f"  {cells}")
+        else:
+            print(f"  {row}")

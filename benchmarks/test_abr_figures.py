@@ -1,0 +1,148 @@
+"""Benchmarks regenerating Figures 6, 12a, 12b, 13, 14, 17, 18 and §7.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.reporting import print_table
+from repro.experiments import abr_eval
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_potential_gains(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig06_potential_gains, args=(context,),
+        kwargs={"video_ids": context.video_ids()[:2],
+                "scaling_ratios": (0.3, 0.6, 1.0), "beam_width": 16},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        {"throughput_mbps": t, "aware_qoe": a, "unaware_qoe": u, "gain": g}
+        for t, a, u, g in zip(
+            result["mean_throughputs_mbps"], result["aware_qoe"],
+            result["unaware_qoe"], result["relative_gains"],
+        )
+    ]
+    print_table("Figure 6: idealised sensitivity-aware vs -unaware ABR", rows)
+    # Paper shape: awareness never hurts and helps somewhere.
+    assert min(result["relative_gains"]) > -0.05
+    assert max(result["relative_gains"]) > 0.0
+
+
+@pytest.mark.benchmark(group="fig12a")
+def test_fig12a_qoe_gain_cdf(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig12a_qoe_gain_cdf, args=(context,), rounds=1, iterations=1
+    )
+    rows = [
+        {"algorithm": name, "median_gain_over_bba": stats["median_gain"],
+         "mean_gain_over_bba": stats["mean_gain"]}
+        for name, stats in result["per_algorithm"].items()
+    ]
+    print_table("Figure 12a: QoE gain over BBA", rows)
+    per_algo = result["per_algorithm"]
+    # Paper shape: both Fugu and SENSEI beat BBA on average (the gains are
+    # concentrated on the constrained traces, so the mean is the robust
+    # statistic at quick scale); SENSEI at least matches Fugu.
+    assert per_algo["Fugu"]["mean_gain"] > 0.0
+    assert per_algo["SENSEI"]["mean_gain"] > 0.0
+    assert per_algo["SENSEI"]["mean_gain"] >= per_algo["Fugu"]["mean_gain"] - 0.05
+
+
+@pytest.mark.benchmark(group="fig12b")
+def test_fig12b_bandwidth_usage(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig12b_bandwidth_usage, args=(context,),
+        kwargs={"scaling_ratios": (0.4, 0.6, 0.8, 1.0)}, rounds=1, iterations=1,
+    )
+    rows = [
+        {"bandwidth_scale": ratio,
+         **{name: curve[i] for name, curve in result["curves"].items()}}
+        for i, ratio in enumerate(result["scaling_ratios"])
+    ]
+    print_table("Figure 12b: QoE vs normalised bandwidth", rows)
+    print(f"  bandwidth saving at equal QoE: {result['bandwidth_saving_at_equal_qoe']:.1%}")
+    # More bandwidth never hurts SENSEI.
+    sensei = result["curves"]["SENSEI"]
+    assert sensei[-1] >= sensei[0] - 0.05
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_gain_per_video(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig13_gain_per_video, args=(context,), rounds=1, iterations=1
+    )
+    print_table("Figure 13: QoE gain over BBA per video", result["rows"])
+    assert len(result["rows"]) == len(context.video_ids())
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_gain_per_trace(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig14_gain_per_trace, args=(context,), rounds=1, iterations=1
+    )
+    print_table("Figure 14: QoE gain over BBA per trace", result["rows"])
+    print(
+        "  SENSEI gain on low-throughput traces: "
+        f"{result['sensei_gain_low_throughput']:+.1%}, "
+        f"high-throughput: {result['sensei_gain_high_throughput']:+.1%}"
+    )
+    assert len(result["rows"]) == len(context.traces())
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_numbers(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.headline_numbers, args=(context,), rounds=1, iterations=1
+    )
+    print_table("§7.2 headline numbers", [result["mean_qoe"]])
+    print(
+        f"  SENSEI vs base ABR mean gain: {result['sensei_gain_over_base_mean']:+.1%}; "
+        f"SENSEI vs BBA median gain: {result['sensei_gain_over_bba_median']:+.1%}"
+    )
+    assert result["mean_qoe"]["SENSEI"] >= result["mean_qoe"]["BBA"]
+    assert result["sensei_gain_over_base_mean"] >= -0.05
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_bandwidth_variance(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig17_bandwidth_variance, args=(context,),
+        kwargs={"noise_levels_mbps": (0.0, 0.4, 0.8)}, rounds=1, iterations=1,
+    )
+    rows = [
+        {"throughput_std_kbps": std,
+         **{name: curve[i] for name, curve in result["curves"].items()}}
+        for i, std in enumerate(result["throughput_std_kbps"])
+    ]
+    print_table("Figure 17: QoE under increasing bandwidth variance", rows)
+    sensei = result["curves"]["SENSEI-Fugu"]
+    fugu = result["curves"]["Fugu"]
+    # SENSEI stays within a small margin of (or above) its base ABR at every
+    # variance level — the robustness claim of §7.4.
+    for s_value, f_value in zip(sensei, fugu):
+        assert s_value >= f_value - 0.08
+
+
+@pytest.mark.benchmark(group="fig18a")
+def test_fig18a_base_abr(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig18a_base_abr_comparison, args=(context,), rounds=1, iterations=1
+    )
+    print_table("Figure 18a: gain over BBA by base ABR", [
+        {"base": name, **values} for name, values in result.items()
+    ])
+    # SENSEI's augmentation should not hurt either base algorithm badly.
+    assert result["fugu"]["sensei"] >= result["fugu"]["base"] - 0.08
+
+
+@pytest.mark.benchmark(group="fig18b")
+def test_fig18b_gain_breakdown(benchmark, context):
+    result = benchmark.pedantic(
+        abr_eval.fig18b_gain_breakdown, args=(context,), rounds=1, iterations=1
+    )
+    print_table("Figure 18b: SENSEI gain breakdown (gain over BBA)", [result])
+    # Full SENSEI should not be worse than the bitrate-adaptation-only arm by
+    # more than noise, and both arms must stay close to the base ABR or above.
+    assert result["full_sensei"] >= result["only_bitrate_adaptation"] - 0.08
+    assert result["only_bitrate_adaptation"] >= result["base_abr_with_ksqi"] - 0.08

@@ -1,0 +1,82 @@
+"""Benchmarks regenerating Figures 2, 15, 16, 12c and the Appendix B stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.reporting import print_table
+from repro.experiments import qoe_models
+
+
+@pytest.mark.benchmark(group="fig02-fig15")
+def test_fig02_fig15_qoe_model_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        qoe_models.fig02_fig15_model_accuracy, args=(context,),
+        kwargs={"lstm_epochs": 5}, rounds=1, iterations=1,
+    )
+    rows = list(result["evaluations"].values())
+    print_table(
+        "Figures 2 & 15: QoE model accuracy "
+        "(relative error / discordant pairs / PLCC / SRCC)",
+        rows,
+    )
+    print(
+        "  SENSEI error reduction vs best baseline: "
+        f"{result['sensei_error_reduction_vs_best_baseline']:+.1%}"
+    )
+    evaluations = result["evaluations"]
+    # Paper shape: SENSEI predicts QoE more accurately than every baseline.
+    for baseline in ("KSQI", "LSTM-QoE", "P.1203"):
+        assert (
+            evaluations["SENSEI"]["mean_relative_error"]
+            <= evaluations[baseline]["mean_relative_error"] + 0.03
+        )
+    assert evaluations["SENSEI"]["plcc"] > 0.6
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_cost_pruning(benchmark, context):
+    result = benchmark.pedantic(
+        qoe_models.fig16_cost_pruning_sweeps, args=(context,),
+        rounds=1, iterations=1,
+    )
+    for knob, rows in result["sweeps"].items():
+        print_table(f"Figure 16: accuracy vs cost sweep of {knob}", rows)
+        # Cost must rise with every knob that adds renderings/raters.
+        costs = [row["cost_usd_per_min"] for row in rows]
+        assert costs == sorted(costs) or knob == "deviation_threshold"
+    # Raising the deviation threshold prunes cost.
+    alpha_rows = result["sweeps"]["deviation_threshold"]
+    assert alpha_rows[-1]["cost_usd_per_min"] <= alpha_rows[0]["cost_usd_per_min"]
+
+
+@pytest.mark.benchmark(group="fig12c")
+def test_fig12c_cost_vs_qoe(benchmark, context):
+    result = benchmark.pedantic(
+        qoe_models.fig12c_cost_vs_qoe, args=(context,), rounds=1, iterations=1
+    )
+    print_table("Figure 12c: crowdsourcing cost vs QoE", [
+        {"arm": name, **values} for name, values in result["arms"].items()
+    ] + [{"arm": "base ABR (no profiling)", "cost_usd_per_min": 0.0,
+          "mean_qoe": result["base_abr_qoe"]}])
+    print(f"  pruning saves {result['pruning_cost_saving']:.1%} of the cost")
+    # Paper shape: pruning cuts cost by an order of magnitude with only a
+    # small QoE penalty.
+    assert result["pruning_cost_saving"] > 0.5
+    assert result["arms"]["pruned"]["mean_qoe"] >= (
+        result["arms"]["exhaustive"]["mean_qoe"] - 0.1
+    )
+
+
+@pytest.mark.benchmark(group="appendix-b")
+def test_appendix_b_sanitization(benchmark, context):
+    result = benchmark.pedantic(
+        qoe_models.appendix_b_rating_sanitization, args=(context,),
+        rounds=1, iterations=1,
+    )
+    print_table("Appendix B/C: rating sanitisation", [
+        {"pool": name, **values} for name, values in result.items()
+    ])
+    assert result["masters_only"]["rejection_rate"] <= (
+        result["all_workers"]["rejection_rate"] + 0.05
+    )

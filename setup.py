@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works in offline
+environments without the ``wheel`` package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro: a reproduction of SENSEI (NSDI 2021).
+
+SENSEI aligns video streaming quality with *dynamic user sensitivity*: it
+profiles, per video, how sensitive viewers are to quality incidents at each
+chunk (via crowdsourcing), encodes the result as per-chunk weights, and
+feeds those weights to the QoE model and the ABR algorithm so that quality
+is spent where viewers care most.
+
+Package layout
+--------------
+``repro.video``    — source videos, encoding ladder, synthetic encoder, renderings
+``repro.network``  — throughput traces and generators
+``repro.player``   — trace-driven streaming-session simulator + DASH manifest
+``repro.ml``       — from-scratch ML substrate (regression, forest, LSTM, RL)
+``repro.qoe``      — ground-truth oracle and baseline QoE models
+``repro.crowd``    — simulated MTurk campaigns
+``repro.abr``      — baseline ABR algorithms (BBA, MPC, Fugu, Pensieve, ...)
+``repro.core``     — SENSEI itself: weights, reweighted QoE, scheduler,
+                     profiler, SENSEI-Fugu / SENSEI-Pensieve
+``repro.cv``       — CV highlight baselines (Appendix D)
+``repro.experiments`` — one module per paper figure/table
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    SenseiFuguABR,
+    SenseiPensieveABR,
+    SenseiProfiler,
+    SenseiQoEModel,
+    SensitivityProfile,
+)
+from repro.qoe import GroundTruthOracle, KSQIModel
+from repro.video import VideoLibrary
+from repro.network import TraceBank
+
+__all__ = [
+    "__version__",
+    "SenseiFuguABR",
+    "SenseiPensieveABR",
+    "SenseiProfiler",
+    "SenseiQoEModel",
+    "SensitivityProfile",
+    "GroundTruthOracle",
+    "KSQIModel",
+    "VideoLibrary",
+    "TraceBank",
+]

@@ -1,0 +1,46 @@
+"""Adaptive bitrate (ABR) algorithms.
+
+Baselines reproduced from the paper's evaluation:
+
+* :class:`~repro.abr.bba.BufferBasedABR` — BBA (Huang et al., SIGCOMM'14);
+* :class:`~repro.abr.rate.RateBasedABR` — classic throughput-rule adaptation;
+* :class:`~repro.abr.mpc.ModelPredictiveABR` — RobustMPC-style lookahead;
+* :class:`~repro.abr.fugu.FuguABR` — Fugu-style stochastic MPC with a learned
+  throughput-error distribution (§5.2, Eq. 3);
+* :class:`~repro.abr.pensieve.PensieveABR` — Pensieve-style actor–critic RL;
+* :class:`~repro.abr.offline.OfflineOptimalABR` — dynamic-programming optimal
+  with full knowledge of the trace (the idealised ABR of §2.4).
+
+SENSEI's sensitivity-aware variants live in :mod:`repro.core.sensei_abr`.
+"""
+
+from repro.abr.base import ABRAlgorithm, Decision, PlayerObservation
+from repro.abr.bba import BufferBasedABR
+from repro.abr.rate import RateBasedABR
+from repro.abr.throughput import (
+    ThroughputPredictor,
+    HarmonicMeanPredictor,
+    EWMAPredictor,
+    ErrorDistributionPredictor,
+)
+from repro.abr.mpc import ModelPredictiveABR
+from repro.abr.fugu import FuguABR
+from repro.abr.pensieve import PensieveABR, PensieveConfig
+from repro.abr.offline import OfflineOptimalABR
+
+__all__ = [
+    "ABRAlgorithm",
+    "Decision",
+    "PlayerObservation",
+    "BufferBasedABR",
+    "RateBasedABR",
+    "ThroughputPredictor",
+    "HarmonicMeanPredictor",
+    "EWMAPredictor",
+    "ErrorDistributionPredictor",
+    "ModelPredictiveABR",
+    "FuguABR",
+    "PensieveABR",
+    "PensieveConfig",
+    "OfflineOptimalABR",
+]

@@ -1,0 +1,204 @@
+"""Offline (idealised) ABR with full knowledge of the throughput trace.
+
+Section 2.4 of the paper motivates SENSEI with "an idealistic but clean
+experiment": two ABR algorithms that both see the *entire* throughput trace
+in advance and pick a bitrate-to-chunk assignment maximising their QoE
+model — one optimising a sensitivity-unaware model (KSQI) and one optimising
+the sensitivity-aware reweighted model.  Figure 6 compares them across
+rescaled traces.
+
+The optimisation here is a beam search over per-chunk choices (bitrate level
+plus, for the sensitivity-aware variant, an optional proactive stall).  The
+download/playback timing model is exact and shared by both variants, so any
+difference between them is attributable to the objective alone — which is
+the point of the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.trace import ThroughputTrace
+from repro.qoe.ksqi import KSQIModel
+from repro.utils.validation import require
+from repro.video.encoder import EncodedVideo
+from repro.video.rendering import RenderedVideo
+
+
+@dataclass
+class _BeamState:
+    """One partial plan in the beam."""
+
+    levels: List[int]
+    stalls: List[float]
+    download_finish_s: float
+    play_cursor_s: float       # wall-clock time at which the previous chunk finished playing
+    score: float
+
+
+class OfflineOptimalABR:
+    """Full-trace-knowledge bitrate planner (the idealised ABR of §2.4).
+
+    Parameters
+    ----------
+    quality_model:
+        Per-chunk quality model (KSQI).
+    weights:
+        Optional per-chunk sensitivity weights; ``None`` gives the
+        sensitivity-unaware variant.
+    allow_proactive_stalls:
+        Whether the planner may schedule deliberate stalls (only meaningful
+        for the sensitivity-aware variant).
+    stall_options_s:
+        Stall durations considered before each chunk.
+    beam_width:
+        Number of partial plans retained per chunk.
+    """
+
+    name = "OfflineOptimal"
+
+    def __init__(
+        self,
+        quality_model: Optional[KSQIModel] = None,
+        weights: Optional[Sequence[float]] = None,
+        allow_proactive_stalls: bool = False,
+        stall_options_s: Sequence[float] = (0.0, 1.0, 2.0),
+        beam_width: int = 64,
+    ) -> None:
+        require(beam_width >= 1, "beam_width must be >= 1")
+        self.quality_model = quality_model if quality_model is not None else KSQIModel()
+        self.weights = (
+            np.asarray(list(weights), dtype=float) if weights is not None else None
+        )
+        self.allow_proactive_stalls = bool(allow_proactive_stalls)
+        self.stall_options_s = tuple(float(s) for s in stall_options_s)
+        self.beam_width = int(beam_width)
+
+    # ------------------------------------------------------------------ plan
+
+    def plan(self, encoded: EncodedVideo, trace: ThroughputTrace) -> RenderedVideo:
+        """Plan the whole video and return the resulting rendering."""
+        num_chunks = encoded.num_chunks
+        chunk_duration = encoded.chunk_duration_s
+        weights = self._resolved_weights(num_chunks)
+        coeffs = self.quality_model.coefficients
+        bitrates = np.asarray(encoded.ladder.bitrates_kbps, dtype=float)
+        top_bitrate = bitrates[-1]
+
+        stall_choices = (
+            self.stall_options_s if self.allow_proactive_stalls else (0.0,)
+        )
+        beam: List[_BeamState] = [
+            _BeamState(levels=[], stalls=[], download_finish_s=0.0,
+                       play_cursor_s=0.0, score=0.0)
+        ]
+        for chunk_index in range(num_chunks):
+            expanded: List[_BeamState] = []
+            for state in beam:
+                previous_level = state.levels[-1] if state.levels else None
+                for level in range(encoded.ladder.num_levels):
+                    size = encoded.chunk_size_bytes(chunk_index, level)
+                    download_time = trace.download_time_s(
+                        size, state.download_finish_s
+                    )
+                    download_finish = state.download_finish_s + download_time
+                    for extra_stall in stall_choices:
+                        expanded.append(
+                            self._extend(
+                                state, chunk_index, level, previous_level,
+                                download_finish, extra_stall, chunk_duration,
+                                encoded, coeffs, bitrates, top_bitrate, weights,
+                            )
+                        )
+            expanded.sort(key=lambda s: s.score, reverse=True)
+            beam = self._deduplicate(expanded)[: self.beam_width]
+
+        best = max(beam, key=lambda s: s.score)
+        stalls = np.asarray(best.stalls, dtype=float)
+        startup_delay = stalls[0] if stalls.size else 0.0
+        stalls = stalls.copy()
+        if stalls.size:
+            stalls[0] = 0.0  # the first chunk's wait is the startup delay
+        return RenderedVideo(
+            encoded=encoded,
+            levels=np.asarray(best.levels, dtype=int),
+            stalls_s=stalls,
+            startup_delay_s=float(startup_delay),
+            render_id=(
+                f"{encoded.source.video_id}/offline-"
+                f"{'aware' if self.weights is not None else 'unaware'}/{trace.name}"
+            ),
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _resolved_weights(self, num_chunks: int) -> np.ndarray:
+        if self.weights is None:
+            return np.ones(num_chunks)
+        require(
+            self.weights.size == num_chunks,
+            "weights must have one entry per chunk",
+        )
+        return self.weights
+
+    def _extend(
+        self,
+        state: _BeamState,
+        chunk_index: int,
+        level: int,
+        previous_level: Optional[int],
+        download_finish: float,
+        extra_stall: float,
+        chunk_duration: float,
+        encoded: EncodedVideo,
+        coeffs,
+        bitrates: np.ndarray,
+        top_bitrate: float,
+        weights: np.ndarray,
+    ) -> _BeamState:
+        """Extend a partial plan with one chunk choice."""
+        # The chunk can start playing once the previous chunk finished
+        # playing AND it has been downloaded AND any deliberate stall passed.
+        earliest_start = max(state.play_cursor_s, download_finish) + extra_stall
+        forced_stall = max(0.0, earliest_start - state.play_cursor_s) if chunk_index else earliest_start
+        play_start = state.play_cursor_s + forced_stall if chunk_index else earliest_start
+        play_end = play_start + chunk_duration
+
+        stall_s = forced_stall
+        quality = encoded.chunk_quality(chunk_index, level)
+        if previous_level is None:
+            switch = 0.0
+        else:
+            switch = abs(bitrates[level] - bitrates[previous_level]) / top_bitrate
+        chunk_score = (
+            coeffs.intercept
+            + coeffs.quality_weight * quality / 100.0
+            - coeffs.rebuffer_weight * (stall_s if chunk_index else stall_s * 0.25)
+            - coeffs.switch_weight * switch
+        )
+        score = state.score + float(weights[chunk_index]) * chunk_score
+        return _BeamState(
+            levels=state.levels + [level],
+            stalls=state.stalls + [stall_s],
+            download_finish_s=download_finish,
+            play_cursor_s=play_end,
+            score=score,
+        )
+
+    @staticmethod
+    def _deduplicate(states: List[_BeamState]) -> List[_BeamState]:
+        """Keep the best-scoring state per (rounded timing, last level) key."""
+        seen = {}
+        for state in states:
+            key = (
+                round(state.download_finish_s, 1),
+                round(state.play_cursor_s, 1),
+                state.levels[-1] if state.levels else -1,
+            )
+            if key not in seen or state.score > seen[key].score:
+                seen[key] = state
+        ordered = sorted(seen.values(), key=lambda s: s.score, reverse=True)
+        return ordered

@@ -1,0 +1,212 @@
+"""Shared lookahead planning machinery for MPC/Fugu-style ABR algorithms.
+
+Both RobustMPC and Fugu enumerate candidate bitrate sequences over a short
+horizon, simulate the buffer evolution under a throughput estimate, score
+each candidate with a per-chunk quality model, and commit only the first
+step.  SENSEI's variants use the same machinery but (a) weight each chunk's
+quality by its sensitivity and (b) consider scheduling a proactive stall
+before the next chunk.  The evaluation is vectorised over candidates so that
+trace-scale experiments stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.base import PlayerObservation
+from repro.qoe.ksqi import KSQIModel
+from repro.utils.validation import require
+
+
+def enumerate_level_sequences(num_levels: int, horizon: int,
+                              max_step: Optional[int] = None,
+                              start_level: Optional[int] = None) -> np.ndarray:
+    """All candidate level sequences of length ``horizon``.
+
+    ``max_step`` optionally restricts consecutive levels to differ by at most
+    that many rungs (prunes the search space for long horizons);
+    ``start_level`` applies the same restriction to the first chunk relative
+    to the previously played level.
+    """
+    require(num_levels >= 1, "num_levels must be >= 1")
+    require(horizon >= 1, "horizon must be >= 1")
+    if max_step is None:
+        candidates = np.array(
+            list(product(range(num_levels), repeat=horizon)), dtype=int
+        )
+        return candidates
+    sequences: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == horizon:
+            sequences.append(prefix)
+            return
+        if prefix:
+            previous = prefix[-1]
+        elif start_level is not None and start_level >= 0:
+            previous = start_level
+        else:
+            previous = None
+        for level in range(num_levels):
+            if previous is not None and abs(level - previous) > max_step:
+                continue
+            extend(prefix + (level,))
+
+    extend(())
+    require(bool(sequences), "level-change restriction pruned every candidate")
+    return np.array(sequences, dtype=int)
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Outcome of evaluating candidate plans.
+
+    Attributes
+    ----------
+    best_level: bitrate level of the best plan's first chunk.
+    best_stall_s: proactive stall chosen before the next chunk (0 for
+        traditional planners).
+    best_score: expected objective value of the best plan.
+    expected_rebuffer_s: expected involuntary rebuffering time of the best
+        plan over the horizon (useful as a risk signal).
+    num_candidates: how many (plan, stall) combinations were evaluated.
+    """
+
+    best_level: int
+    best_stall_s: float
+    best_score: float
+    expected_rebuffer_s: float
+    num_candidates: int
+
+
+def evaluate_candidates(
+    observation: PlayerObservation,
+    candidates: np.ndarray,
+    throughput_scenarios: Sequence[Tuple[float, float]],
+    quality_model: KSQIModel,
+    weights: Optional[np.ndarray] = None,
+    stall_options_s: Sequence[float] = (0.0,),
+    chunk_duration_s: Optional[float] = None,
+) -> PlanEvaluation:
+    """Score candidate level sequences and pick the best first action.
+
+    Parameters
+    ----------
+    observation:
+        The player observation (provides buffer level, upcoming sizes/quality
+        and the previously played level).
+    candidates:
+        (num_candidates, horizon) matrix of level sequences.  The horizon
+        must not exceed the observation's horizon.
+    throughput_scenarios:
+        (throughput_mbps, probability) pairs; the plan score is the
+        probability-weighted expectation over them (Fugu's Eq. 3/4).
+    quality_model:
+        The per-chunk quality model ``q(b, t)`` (KSQI in the paper).
+    weights:
+        Sensitivity weights for the planned chunks (defaults to ones — the
+        weight-unaware objective of Eq. 3).
+    stall_options_s:
+        Proactive-stall durations considered before the next chunk (SENSEI
+        considers {0, 1, 2} s; traditional planners only 0).
+    chunk_duration_s:
+        Chunk playback duration; defaults to the observation's.
+    """
+    require(candidates.ndim == 2, "candidates must be a 2-D matrix")
+    horizon = candidates.shape[1]
+    require(horizon <= observation.horizon, "candidates exceed observation horizon")
+    require(bool(throughput_scenarios), "need at least one throughput scenario")
+    chunk_duration = (
+        chunk_duration_s if chunk_duration_s is not None
+        else observation.chunk_duration_s
+    )
+    if weights is None:
+        weights = np.ones(horizon)
+    weights = np.asarray(weights, dtype=float)[:horizon]
+    require(weights.size == horizon, "weights must cover the planning horizon")
+
+    sizes = observation.upcoming_sizes_bytes[:horizon]
+    quality = observation.upcoming_quality[:horizon]
+    ladder = observation.ladder
+    bitrates = np.asarray(ladder.bitrates_kbps, dtype=float)
+    top_bitrate = bitrates[-1]
+    coeffs = quality_model.coefficients
+    num_candidates = candidates.shape[0]
+
+    previous_bitrate = (
+        bitrates[observation.last_level]
+        if observation.last_level >= 0
+        else bitrates[0]
+    )
+
+    best_score = -np.inf
+    best_level = int(candidates[0, 0])
+    best_stall = float(stall_options_s[0])
+    best_rebuffer = 0.0
+
+    candidate_sizes = np.take_along_axis(
+        np.broadcast_to(sizes, (num_candidates, horizon, bitrates.size)),
+        candidates[:, :, None],
+        axis=2,
+    )[:, :, 0]
+    candidate_quality = np.take_along_axis(
+        np.broadcast_to(quality, (num_candidates, horizon, bitrates.size)),
+        candidates[:, :, None],
+        axis=2,
+    )[:, :, 0]
+    candidate_bitrates = bitrates[candidates]
+    previous_rates = np.concatenate(
+        [np.full((num_candidates, 1), previous_bitrate), candidate_bitrates[:, :-1]],
+        axis=1,
+    )
+    switch_terms = np.abs(candidate_bitrates - previous_rates) / top_bitrate
+
+    for stall_s in stall_options_s:
+        expected_scores = np.zeros(num_candidates)
+        expected_rebuffer = np.zeros(num_candidates)
+        for throughput_mbps, probability in throughput_scenarios:
+            rate_bytes_per_s = max(throughput_mbps, 1e-3) * 1e6 / 8.0
+            download_times = candidate_sizes / rate_bytes_per_s
+            # Simulate buffer evolution for every candidate simultaneously.
+            buffer_levels = np.full(
+                num_candidates, observation.buffer_s + stall_s
+            )
+            rebuffer = np.zeros((num_candidates, horizon))
+            for step in range(horizon):
+                dt = download_times[:, step]
+                shortfall = np.maximum(dt - buffer_levels, 0.0)
+                rebuffer[:, step] = shortfall
+                buffer_levels = np.maximum(buffer_levels - dt, 0.0) + chunk_duration
+                buffer_levels = np.minimum(
+                    buffer_levels, observation.buffer_capacity_s
+                )
+            chunk_scores = (
+                coeffs.intercept
+                + coeffs.quality_weight * candidate_quality / 100.0
+                - coeffs.rebuffer_weight * rebuffer
+                - coeffs.switch_weight * switch_terms
+            )
+            # The deliberately scheduled stall is charged to the next chunk,
+            # weighted by that chunk's sensitivity.
+            stall_penalty = coeffs.rebuffer_weight * stall_s * weights[0]
+            plan_scores = chunk_scores @ weights - stall_penalty
+            expected_scores += probability * plan_scores
+            expected_rebuffer += probability * rebuffer.sum(axis=1)
+        top_index = int(np.argmax(expected_scores))
+        if float(expected_scores[top_index]) > best_score:
+            best_score = float(expected_scores[top_index])
+            best_level = int(candidates[top_index, 0])
+            best_stall = float(stall_s)
+            best_rebuffer = float(expected_rebuffer[top_index])
+
+    return PlanEvaluation(
+        best_level=best_level,
+        best_stall_s=best_stall,
+        best_score=best_score,
+        expected_rebuffer_s=best_rebuffer,
+        num_candidates=num_candidates * len(stall_options_s),
+    )

@@ -1,0 +1,46 @@
+"""Rate-based adaptation: pick the highest bitrate the predicted throughput
+can sustain, with a conservative safety margin.
+
+This is the classic throughput-rule family (e.g. the original DASH.js rule,
+FESTIVE's rate component).  Included both as a baseline and as the fallback
+policy other algorithms use before any throughput measurement exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.abr.base import ABRAlgorithm, Decision, PlayerObservation
+from repro.abr.throughput import HarmonicMeanPredictor, ThroughputPredictor
+from repro.utils.validation import require
+
+
+class RateBasedABR(ABRAlgorithm):
+    """Throughput-rule adaptation with a safety margin.
+
+    Parameters
+    ----------
+    safety_margin:
+        Fraction of the predicted throughput considered usable (0.9 means
+        the chosen bitrate must fit within 90% of the prediction).
+    predictor:
+        Throughput predictor; defaults to a harmonic mean of recent samples.
+    """
+
+    name = "RateBased"
+
+    def __init__(
+        self,
+        safety_margin: float = 0.9,
+        predictor: Optional[ThroughputPredictor] = None,
+    ) -> None:
+        require(0 < safety_margin <= 1, "safety_margin must be in (0, 1]")
+        self.safety_margin = float(safety_margin)
+        self.predictor = predictor if predictor is not None else HarmonicMeanPredictor()
+
+    def decide(self, observation: PlayerObservation) -> Decision:
+        """Choose the highest level whose bitrate fits the predicted rate."""
+        predicted_mbps = self.predictor.predict(observation)
+        usable_kbps = predicted_mbps * 1000.0 * self.safety_margin
+        level = observation.ladder.level_for_bitrate(usable_kbps)
+        return Decision(level=level)

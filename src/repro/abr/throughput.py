@@ -1,0 +1,145 @@
+"""Throughput predictors used by planner-style ABR algorithms.
+
+Fugu's key ingredient is a probabilistic transmission-time predictor; the
+reproduction provides a discretised error-distribution predictor that learns
+the ratio between actual and predicted throughput online, plus the simpler
+harmonic-mean and EWMA predictors used by RobustMPC-style planners.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.base import PlayerObservation
+from repro.utils.stats import harmonic_mean
+from repro.utils.validation import require
+
+
+class ThroughputPredictor(ABC):
+    """Base class: predict throughput (Mbps) for the next download."""
+
+    def reset(self) -> None:
+        """Clear per-session state (default: nothing)."""
+
+    @abstractmethod
+    def predict(self, observation: PlayerObservation) -> float:
+        """Point prediction of the next download's throughput in Mbps."""
+
+    def predict_distribution(
+        self, observation: PlayerObservation
+    ) -> List[Tuple[float, float]]:
+        """(throughput_mbps, probability) pairs; default is a point mass."""
+        return [(self.predict(observation), 1.0)]
+
+
+class HarmonicMeanPredictor(ThroughputPredictor):
+    """Harmonic mean of the last ``window`` throughput samples.
+
+    The harmonic mean down-weights transient spikes, which makes it the
+    standard conservative estimator in the MPC family.
+    """
+
+    def __init__(self, window: int = 5, default_mbps: float = 1.0) -> None:
+        require(window >= 1, "window must be >= 1")
+        require(default_mbps > 0, "default_mbps must be positive")
+        self.window = int(window)
+        self.default_mbps = float(default_mbps)
+
+    def predict(self, observation: PlayerObservation) -> float:
+        history = observation.throughput_history_mbps
+        if history.size == 0:
+            return self.default_mbps
+        recent = history[-self.window:]
+        return harmonic_mean(recent)
+
+
+class EWMAPredictor(ThroughputPredictor):
+    """Exponentially weighted moving average of past throughput samples."""
+
+    def __init__(self, alpha: float = 0.4, default_mbps: float = 1.0) -> None:
+        require(0 < alpha <= 1, "alpha must be in (0, 1]")
+        require(default_mbps > 0, "default_mbps must be positive")
+        self.alpha = float(alpha)
+        self.default_mbps = float(default_mbps)
+
+    def predict(self, observation: PlayerObservation) -> float:
+        history = observation.throughput_history_mbps
+        if history.size == 0:
+            return self.default_mbps
+        estimate = float(history[0])
+        for sample in history[1:]:
+            estimate = self.alpha * float(sample) + (1 - self.alpha) * estimate
+        return estimate
+
+
+class ErrorDistributionPredictor(ThroughputPredictor):
+    """Harmonic-mean prediction with a learned multiplicative error model.
+
+    Fugu (§5.2) considers "any throughput variation γ with predicted
+    probability p(γ)".  This predictor tracks the historical ratio between
+    the observed throughput and the prediction made one step earlier, bins
+    the ratios, and exposes the binned distribution so a planner can compute
+    expectations over throughput variation.
+    """
+
+    def __init__(
+        self,
+        window: int = 4,
+        num_bins: int = 5,
+        ratio_range: Tuple[float, float] = (0.4, 1.4),
+        default_mbps: float = 1.0,
+    ) -> None:
+        require(window >= 1, "window must be >= 1")
+        require(num_bins >= 1, "num_bins must be >= 1")
+        require(0 < ratio_range[0] < ratio_range[1], "invalid ratio range")
+        self.window = int(window)
+        self.num_bins = int(num_bins)
+        self.ratio_range = (float(ratio_range[0]), float(ratio_range[1]))
+        self.default_mbps = float(default_mbps)
+        self._base = HarmonicMeanPredictor(window=window, default_mbps=default_mbps)
+        self._observed_ratios: List[float] = []
+        self._last_prediction: float = 0.0
+
+    def reset(self) -> None:
+        self._observed_ratios = []
+        self._last_prediction = 0.0
+
+    def predict(self, observation: PlayerObservation) -> float:
+        prediction = self._base.predict(observation)
+        self._record_ratio(observation, prediction)
+        self._last_prediction = prediction
+        return prediction
+
+    def _record_ratio(self, observation: PlayerObservation, prediction: float) -> None:
+        history = observation.throughput_history_mbps
+        if history.size == 0 or self._last_prediction <= 0:
+            return
+        actual = float(history[-1])
+        ratio = actual / self._last_prediction
+        lo, hi = self.ratio_range
+        self._observed_ratios.append(float(np.clip(ratio, lo, hi)))
+
+    def predict_distribution(
+        self, observation: PlayerObservation
+    ) -> List[Tuple[float, float]]:
+        """Discretised distribution over next-download throughput."""
+        prediction = self.predict(observation)
+        lo, hi = self.ratio_range
+        centers = np.linspace(lo, hi, self.num_bins)
+        if len(self._observed_ratios) < 3:
+            # Cold start: concentrated near the point prediction with thin
+            # symmetric tails (strong pessimism here causes phantom stall
+            # risk and gratuitous hedging early in a session).
+            probabilities = np.array([0.1, 0.15, 0.5, 0.15, 0.1][: self.num_bins])
+            probabilities = probabilities / probabilities.sum()
+        else:
+            edges = np.linspace(lo, hi, self.num_bins + 1)
+            counts, _ = np.histogram(self._observed_ratios, bins=edges)
+            probabilities = (counts + 0.5) / float(np.sum(counts + 0.5))
+        return [
+            (float(prediction * center), float(prob))
+            for center, prob in zip(centers, probabilities)
+        ]

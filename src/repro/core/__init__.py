@@ -1,0 +1,31 @@
+"""SENSEI core: the paper's primary contribution.
+
+* :mod:`repro.core.weights` — the per-chunk sensitivity-weight abstraction
+  and its inference from crowdsourced MOS (§4.2);
+* :mod:`repro.core.qoe_model` — the reweighted additive QoE model (Eq. 2);
+* :mod:`repro.core.scheduler` — the two-step rendered-video scheduler that
+  prunes crowdsourcing cost (§4.3);
+* :mod:`repro.core.profiler` — the end-to-end per-video profiling pipeline
+  (Figure 8): rendered-video scheduling → MTurk campaign → weight inference;
+* :mod:`repro.core.sensei_abr` — SENSEI-Fugu and SENSEI-Pensieve (§5).
+"""
+
+from repro.core.weights import SensitivityProfile, infer_weights
+from repro.core.qoe_model import SenseiQoEModel
+from repro.core.scheduler import SchedulerConfig, RenderingSchedule, TwoStepScheduler
+from repro.core.profiler import ProfilingResult, SenseiProfiler
+from repro.core.sensei_abr import SenseiFuguABR, SenseiPensieveABR, make_sensei_pensieve
+
+__all__ = [
+    "SensitivityProfile",
+    "infer_weights",
+    "SenseiQoEModel",
+    "SchedulerConfig",
+    "RenderingSchedule",
+    "TwoStepScheduler",
+    "ProfilingResult",
+    "SenseiProfiler",
+    "SenseiFuguABR",
+    "SenseiPensieveABR",
+    "make_sensei_pensieve",
+]

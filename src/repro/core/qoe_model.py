@@ -1,0 +1,92 @@
+"""SENSEI's QoE model: an existing additive model reweighted per video (Eq. 2).
+
+``Q = (1/N) Σ_i w_i q_i`` where ``q_i`` are the base model's per-chunk scores
+(KSQI in the paper) and ``w_i`` the video's sensitivity weights.  The model
+keeps a registry of :class:`~repro.core.weights.SensitivityProfile` objects
+keyed by video id; videos without a profile fall back to the base model
+(uniform weights), so the model degrades gracefully to plain KSQI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.weights import SensitivityProfile
+from repro.qoe.base import AdditiveQoEModel, QoEModel
+from repro.qoe.ksqi import KSQIModel
+from repro.utils.validation import require
+from repro.video.rendering import RenderedVideo
+
+
+class SenseiQoEModel(QoEModel):
+    """Per-video reweighted QoE model.
+
+    Parameters
+    ----------
+    base_model:
+        The additive base model providing per-chunk scores (default KSQI).
+    profiles:
+        Initial sensitivity profiles, keyed by video id.
+    """
+
+    name = "SENSEI"
+
+    def __init__(
+        self,
+        base_model: Optional[AdditiveQoEModel] = None,
+        profiles: Optional[Dict[str, SensitivityProfile]] = None,
+    ) -> None:
+        self.base_model = base_model if base_model is not None else KSQIModel()
+        self._profiles: Dict[str, SensitivityProfile] = dict(profiles or {})
+
+    # -------------------------------------------------------------- profiles
+
+    def add_profile(self, profile: SensitivityProfile) -> None:
+        """Register (or replace) the profile of one video."""
+        self._profiles[profile.video_id] = profile.normalized()
+
+    def add_profiles(self, profiles: Iterable[SensitivityProfile]) -> None:
+        """Register several profiles."""
+        for profile in profiles:
+            self.add_profile(profile)
+
+    def has_profile(self, video_id: str) -> bool:
+        """Whether a video has a registered profile."""
+        return video_id in self._profiles
+
+    def profile_for(self, video_id: str) -> Optional[SensitivityProfile]:
+        """The registered profile of a video, or ``None``."""
+        return self._profiles.get(video_id)
+
+    def weights_for(self, rendered: RenderedVideo) -> np.ndarray:
+        """Weights applied to a rendering (uniform when unprofiled)."""
+        profile = self._profiles.get(rendered.source.video_id)
+        if profile is None or profile.num_chunks != rendered.num_chunks:
+            return np.ones(rendered.num_chunks)
+        return profile.weights
+
+    # ----------------------------------------------------------------- score
+
+    def score(self, rendered: RenderedVideo) -> float:
+        """Sensitivity-weighted QoE prediction in [0, 1]."""
+        weights = self.weights_for(rendered)
+        return self.base_model.weighted_score(rendered, weights)
+
+    def chunk_scores(self, rendered: RenderedVideo) -> np.ndarray:
+        """Weighted per-chunk contributions ``w_i q_i``."""
+        weights = self.weights_for(rendered)
+        return weights * self.base_model.chunk_scores(rendered)
+
+    def fit(
+        self, renderings: Sequence[RenderedVideo], mos: Sequence[float]
+    ) -> "SenseiQoEModel":
+        """Fit the base model's coefficients on (rendering, MOS) pairs.
+
+        The per-video weights themselves come from the profiling pipeline
+        (:class:`~repro.core.profiler.SenseiProfiler`), not from this fit.
+        """
+        require(len(renderings) == len(mos), "renderings and MOS must align")
+        self.base_model.fit(renderings, mos)
+        return self

@@ -1,0 +1,34 @@
+"""Crowdsourcing substrate: a simulated Amazon MTurk campaign.
+
+The paper elicits MOS ratings from MTurk workers per rendered video (§4.1,
+Appendix B/C).  The reproduction simulates the same pipeline: a pool of
+workers with individual bias, noise and reliability; surveys of K rendered
+videos plus a reference video; rejection rules (rating above the reference,
+not watching in full, inconsistent incident confirmation); MOS aggregation;
+and cost accounting at an hourly rate proportional to watched video time.
+"""
+
+from repro.crowd.worker import WorkerProfile, SimulatedWorker, WorkerPool, WorkerRating
+from repro.crowd.survey import Survey, SurveyPlan, build_survey_plan
+from repro.crowd.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    MTurkCampaign,
+    RatingRecord,
+)
+from repro.crowd.cost import CostModel
+
+__all__ = [
+    "WorkerProfile",
+    "SimulatedWorker",
+    "WorkerPool",
+    "WorkerRating",
+    "Survey",
+    "SurveyPlan",
+    "build_survey_plan",
+    "CampaignConfig",
+    "CampaignResult",
+    "MTurkCampaign",
+    "RatingRecord",
+    "CostModel",
+]

@@ -1,0 +1,49 @@
+"""Cost accounting for crowdsourcing campaigns.
+
+The paper pays each participant a fixed hourly rate ($10/h, Appendix B)
+times the estimated time needed for their survey, which is proportional to
+the total length of the videos they watch.  Rejected participants are not
+paid.  The headline number the paper reports (Figure 12c, §7.2) is the cost
+in USD per minute of *source* video.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Campaign cost model.
+
+    Attributes
+    ----------
+    hourly_rate_usd:
+        Payment per participant-hour of watching (the paper uses $10/h).
+    overhead_factor:
+        Multiplier accounting for instructions, the rating page and platform
+        fees (> 1).
+    """
+
+    hourly_rate_usd: float = 10.0
+    overhead_factor: float = 1.3
+
+    def __post_init__(self) -> None:
+        require_positive(self.hourly_rate_usd, "hourly_rate_usd")
+        require(self.overhead_factor >= 1.0, "overhead_factor must be >= 1")
+
+    def payment_for_watch_time(self, watch_seconds: float) -> float:
+        """Payment owed for a given number of watched video-seconds."""
+        require_non_negative(watch_seconds, "watch_seconds")
+        hours = watch_seconds * self.overhead_factor / 3600.0
+        return hours * self.hourly_rate_usd
+
+    def cost_per_source_minute(
+        self, total_paid_usd: float, source_duration_s: float
+    ) -> float:
+        """Campaign cost normalised per minute of source video (Fig. 12c)."""
+        require_non_negative(total_paid_usd, "total_paid_usd")
+        require_positive(source_duration_s, "source_duration_s")
+        return total_paid_usd / (source_duration_s / 60.0)

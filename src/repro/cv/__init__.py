@@ -1,0 +1,17 @@
+"""Computer-vision baselines for sensitivity estimation (Appendix D)."""
+
+from repro.cv.highlights import (
+    HighlightModel,
+    AMVMLikeModel,
+    DSNLikeModel,
+    Video2GIFLikeModel,
+    all_highlight_models,
+)
+
+__all__ = [
+    "HighlightModel",
+    "AMVMLikeModel",
+    "DSNLikeModel",
+    "Video2GIFLikeModel",
+    "all_highlight_models",
+]

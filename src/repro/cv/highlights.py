@@ -1,0 +1,101 @@
+"""CV-style highlight / summarisation models (Appendix D).
+
+The paper tests whether video-highlight and video-summarisation models
+(AMVM, DSN, Video2GIF) can predict per-chunk quality sensitivity and finds
+that they cannot: they key off *information richness* and *visual dynamics*,
+which do not imply viewer attention to quality.  The reproduction implements
+three scorers with the same inductive biases over the observable content
+descriptors — motion, spatial complexity and information richness — while
+the true sensitivity is driven by the latent ``key_moment`` signal they never
+see.  Figure 20 compares their (normalised) scores against the user-study
+sensitivity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from repro.utils.stats import normalize_to_unit
+from repro.video.video import SourceVideo
+
+
+class HighlightModel(ABC):
+    """Base class: score each chunk's "highlight-ness" in [0, 1]."""
+
+    name: str = "highlight-model"
+
+    @abstractmethod
+    def raw_scores(self, video: SourceVideo) -> np.ndarray:
+        """Unnormalised per-chunk highlight scores."""
+
+    def chunk_scores(self, video: SourceVideo) -> np.ndarray:
+        """Per-chunk scores min–max normalised to [0, 1] (Figure 20's y-axis)."""
+        return normalize_to_unit(self.raw_scores(video))
+
+
+class AMVMLikeModel(HighlightModel):
+    """AMVM-like: attention driven by visual dynamics.
+
+    The original model estimates user experience from motion and texture
+    statistics; the proxy scores chunks by motion with a complexity bonus.
+    """
+
+    name = "AMVM"
+
+    def raw_scores(self, video: SourceVideo) -> np.ndarray:
+        features = video.feature_matrix()
+        motion, complexity = features[:, 0], features[:, 1]
+        return 0.75 * motion + 0.25 * complexity
+
+
+class DSNLikeModel(HighlightModel):
+    """DSN-like: diversity/representativeness-rewarded summarisation.
+
+    The deep summarisation network rewards frames that are both diverse from
+    their neighbours and representative of the video; the proxy scores chunks
+    by how much their feature vector deviates from the local neighbourhood
+    plus how close it is to the global mean.
+    """
+
+    name = "DSN"
+
+    def raw_scores(self, video: SourceVideo) -> np.ndarray:
+        features = video.feature_matrix()
+        global_mean = features.mean(axis=0)
+        representativeness = -np.linalg.norm(features - global_mean, axis=1)
+        diversity = np.zeros(len(features))
+        for index in range(len(features)):
+            lo = max(0, index - 2)
+            hi = min(len(features), index + 3)
+            neighbourhood = np.delete(features[lo:hi], index - lo, axis=0)
+            if neighbourhood.size:
+                diversity[index] = float(
+                    np.mean(np.linalg.norm(neighbourhood - features[index], axis=1))
+                )
+        return 0.5 * normalize_to_unit(diversity) + 0.5 * normalize_to_unit(
+            representativeness
+        )
+
+
+class Video2GIFLikeModel(HighlightModel):
+    """Video2GIF-like: GIF-worthiness driven by information-rich action.
+
+    The original ranks segments by how likely they are to be turned into a
+    GIF, which correlates with objects/faces/action on screen; the proxy
+    scores chunks by information richness with a motion bonus.
+    """
+
+    name = "Video2GIF"
+
+    def raw_scores(self, video: SourceVideo) -> np.ndarray:
+        features = video.feature_matrix()
+        motion, information = features[:, 0], features[:, 2]
+        return 0.65 * information + 0.35 * motion
+
+
+def all_highlight_models() -> List[HighlightModel]:
+    """The three CV baselines evaluated in Appendix D."""
+    return [AMVMLikeModel(), DSNLikeModel(), Video2GIFLikeModel()]

@@ -1,0 +1,22 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+The modules are grouped by theme; every figure has a dedicated ``fig*``
+function (see DESIGN.md's per-experiment index for the mapping):
+
+* :mod:`repro.experiments.common` — shared context (video set, trace bank,
+  oracle, profiler, cached weights) and the quick/full scale presets;
+* :mod:`repro.experiments.sensitivity` — Figures 1, 3, 4, 5, 20 and Table 1
+  (the measurement study of dynamic quality sensitivity);
+* :mod:`repro.experiments.qoe_models` — Figures 2, 15, 16 and 12c plus the
+  Appendix B statistics (QoE-model accuracy, cost pruning);
+* :mod:`repro.experiments.abr_eval` — Figures 6, 12a, 12b, 13, 14, 17, 18
+  and the headline §7.2 numbers (end-to-end ABR evaluation).
+
+Every function takes an :class:`~repro.experiments.common.ExperimentContext`
+and returns a plain dictionary with the rows/series the paper reports, so
+benchmarks and examples can print or assert on them directly.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentScale
+
+__all__ = ["ExperimentContext", "ExperimentScale"]

@@ -1,0 +1,237 @@
+"""Shared experiment context: videos, traces, oracle, profiles, ABR factories.
+
+Experiments run at two scales:
+
+* ``quick`` — a subset of videos/traces with reduced rating counts, sized so
+  the whole benchmark suite finishes in minutes on a laptop;
+* ``full``  — the paper's full grid (16 videos × 10 traces, 30+ ratings),
+  for overnight runs.
+
+The context caches sensitivity profiles and trained agents so that multiple
+figures reuse the same (expensive) artefacts, exactly as the paper's
+evaluation reuses one profiling pass per video.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm
+from repro.abr.bba import BufferBasedABR
+from repro.abr.fugu import FuguABR
+from repro.abr.pensieve import PensieveABR, PensieveConfig, PensieveTrainer
+from repro.core.profiler import SenseiProfiler
+from repro.core.qoe_model import SenseiQoEModel
+from repro.core.scheduler import SchedulerConfig
+from repro.core.sensei_abr import SenseiFuguABR, SenseiPensieveABR, make_sensei_pensieve
+from repro.core.weights import SensitivityProfile
+from repro.network.bank import TraceBank
+from repro.network.trace import ThroughputTrace
+from repro.player.simulator import simulate_session
+from repro.qoe.ground_truth import GroundTruthOracle
+from repro.qoe.ksqi import KSQIModel
+from repro.utils.validation import require
+from repro.video.encoder import EncodedVideo
+from repro.video.library import VideoLibrary
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment run is.
+
+    Attributes
+    ----------
+    num_videos: how many of the 16 catalogue videos to use.
+    num_traces: how many evaluation traces to use.
+    step1_ratings / step2_ratings: rating multiplicities for profiling.
+    pensieve_episodes: training episodes for the RL agents.
+    trace_duration_s: length of generated traces.
+    """
+
+    name: str
+    num_videos: int
+    num_traces: int
+    step1_ratings: int = 10
+    step2_ratings: int = 5
+    pensieve_episodes: int = 80
+    trace_duration_s: float = 900.0
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Laptop/benchmark scale."""
+        return cls(
+            name="quick",
+            num_videos=4,
+            num_traces=4,
+            step1_ratings=8,
+            step2_ratings=4,
+            pensieve_episodes=40,
+            trace_duration_s=900.0,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentScale":
+        """The paper's grid (16 videos × 10 traces)."""
+        return cls(
+            name="full",
+            num_videos=16,
+            num_traces=10,
+            step1_ratings=10,
+            step2_ratings=5,
+            pensieve_episodes=300,
+            trace_duration_s=1500.0,
+        )
+
+
+class ExperimentContext:
+    """Caches the artefacts every experiment needs."""
+
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        seed: int = 7,
+        oracle: Optional[GroundTruthOracle] = None,
+    ) -> None:
+        self.scale = scale if scale is not None else ExperimentScale.quick()
+        self.seed = int(seed)
+        self.library = VideoLibrary(seed=seed)
+        self.oracle = oracle if oracle is not None else GroundTruthOracle()
+        self.trace_bank = TraceBank(
+            num_traces=self.scale.num_traces,
+            duration_s=self.scale.trace_duration_s,
+            seed=seed + 1,
+        )
+        self._profiles: Dict[str, SensitivityProfile] = {}
+        self._profiler: Optional[SenseiProfiler] = None
+        self._trained_pensieve: Optional[PensieveABR] = None
+        self._trained_sensei_pensieve: Optional[SenseiPensieveABR] = None
+
+    # ------------------------------------------------------------- inventory
+
+    def video_ids(self) -> List[str]:
+        """The video ids used at this scale (a prefix of the catalogue that
+        always spans all four genres)."""
+        preferred = [
+            "soccer1", "fps1", "animal", "lava",          # one per genre
+            "basket1", "tank", "space", "girl",
+            "soccer2", "fps2", "mountain", "bigbuckbunny",
+            "basket2", "discus", "wrestling", "motor",
+        ]
+        return preferred[: self.scale.num_videos]
+
+    def videos(self) -> List[EncodedVideo]:
+        """Encoded videos used at this scale."""
+        return [self.library.encoded(video_id) for video_id in self.video_ids()]
+
+    def traces(self) -> List[ThroughputTrace]:
+        """Evaluation traces, ordered by increasing mean throughput."""
+        return self.trace_bank.traces()
+
+    # --------------------------------------------------------------- profiling
+
+    def profiler(self) -> SenseiProfiler:
+        """The (cached) profiler used for every video."""
+        if self._profiler is None:
+            self._profiler = SenseiProfiler(
+                oracle=self.oracle,
+                scheduler_config=SchedulerConfig(
+                    step1_ratings=self.scale.step1_ratings,
+                    step2_ratings=self.scale.step2_ratings,
+                ),
+                campaign_seed=self.seed + 11,
+            )
+        return self._profiler
+
+    def profile(self, video_id: str) -> SensitivityProfile:
+        """Sensitivity profile for a video, profiled on first use and cached."""
+        if video_id not in self._profiles:
+            encoded = self.library.encoded(video_id)
+            result = self.profiler().profile_video(encoded)
+            self._profiles[video_id] = result.profile
+        return self._profiles[video_id]
+
+    def weights(self, video_id: str) -> np.ndarray:
+        """Per-chunk weights of a video."""
+        return self.profile(video_id).weights
+
+    def weights_by_video(self) -> Dict[str, np.ndarray]:
+        """Weights for every video at this scale."""
+        return {video_id: self.weights(video_id) for video_id in self.video_ids()}
+
+    def sensei_qoe_model(self) -> SenseiQoEModel:
+        """A SENSEI QoE model loaded with this context's profiles."""
+        model = SenseiQoEModel(base_model=KSQIModel())
+        for video_id in self.video_ids():
+            model.add_profile(self.profile(video_id))
+        return model
+
+    # --------------------------------------------------------------- ABR zoo
+
+    def make_bba(self) -> BufferBasedABR:
+        """Fresh BBA instance."""
+        return BufferBasedABR()
+
+    def make_fugu(self) -> FuguABR:
+        """Fresh Fugu instance."""
+        return FuguABR()
+
+    def make_sensei_fugu(self) -> SenseiFuguABR:
+        """Fresh SENSEI-Fugu instance."""
+        return SenseiFuguABR()
+
+    def trained_pensieve(self) -> PensieveABR:
+        """Pensieve agent trained on this context's videos and traces."""
+        if self._trained_pensieve is None:
+            agent = PensieveABR(config=PensieveConfig(seed=self.seed + 21))
+            trainer = PensieveTrainer(agent, seed=self.seed + 22)
+            trainer.train(
+                self.videos(), self.traces(),
+                episodes=self.scale.pensieve_episodes,
+            )
+            self._trained_pensieve = agent
+        return self._trained_pensieve
+
+    def trained_sensei_pensieve(self) -> SenseiPensieveABR:
+        """SENSEI-Pensieve agent trained with weights in state and reward."""
+        if self._trained_sensei_pensieve is None:
+            agent = make_sensei_pensieve(seed=self.seed + 31)
+            trainer = PensieveTrainer(agent, seed=self.seed + 32)
+            trainer.train(
+                self.videos(), self.traces(),
+                episodes=self.scale.pensieve_episodes,
+                weights_by_video=self.weights_by_video(),
+            )
+            self._trained_sensei_pensieve = agent
+        return self._trained_sensei_pensieve
+
+    # ------------------------------------------------------------ simulation
+
+    def stream_qoe(
+        self,
+        abr: ABRAlgorithm,
+        encoded: EncodedVideo,
+        trace: ThroughputTrace,
+        use_weights: bool = False,
+        qoe_model=None,
+    ) -> float:
+        """Stream once and score the result.
+
+        ``qoe_model=None`` scores with the ground-truth oracle (the paper's
+        "real user ratings"); passing a model scores with that model instead
+        (the paper's §7.4 microbenchmarks use SENSEI's model for scale).
+        """
+        weights = (
+            self.weights(encoded.source.video_id) if use_weights else None
+        )
+        result = simulate_session(abr, encoded, trace, chunk_weights=weights)
+        if qoe_model is None:
+            return self.oracle.true_qoe(result.rendered)
+        return float(qoe_model.score(result.rendered))
+
+    def gain_over(self, qoe: float, baseline_qoe: float) -> float:
+        """Relative QoE gain ``(Q1 - Q2) / Q2`` used throughout §7."""
+        require(baseline_qoe != 0, "baseline QoE must be non-zero")
+        return (qoe - baseline_qoe) / baseline_qoe

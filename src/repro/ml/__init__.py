@@ -1,0 +1,31 @@
+"""Machine-learning substrate implemented from scratch on NumPy.
+
+The paper's components rely on several learned models: linear regression for
+SENSEI's weight inference (§4.2) and for KSQI; a random-forest regressor for
+the P.1203 baseline; an LSTM network for the LSTM-QoE baseline; and an
+actor–critic policy-gradient agent for Pensieve.  All are implemented here
+without external ML frameworks.
+"""
+
+from repro.ml.linreg import LinearRegression, RidgeRegression, fit_nonnegative_weights
+from repro.ml.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.ml.nn import AdamOptimizer, MLP, relu, softmax
+from repro.ml.lstm import LSTMCell, LSTMRegressor
+from repro.ml.rl import ActorCriticAgent, ActorCriticConfig, EpisodeBuffer
+
+__all__ = [
+    "LinearRegression",
+    "RidgeRegression",
+    "fit_nonnegative_weights",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AdamOptimizer",
+    "MLP",
+    "relu",
+    "softmax",
+    "LSTMCell",
+    "LSTMRegressor",
+    "ActorCriticAgent",
+    "ActorCriticConfig",
+    "EpisodeBuffer",
+]

@@ -1,0 +1,195 @@
+"""Decision-tree and random-forest regressors (from scratch).
+
+Used by the P.1203-like baseline QoE model, which the paper describes as
+combining QP values and quality-incident metrics in a random-forest model.
+The implementation is a standard CART regressor with variance-reduction
+splits and bootstrap-aggregated trees with feature subsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of features considered per split (None = all); used by the
+        random forest for decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        require(max_depth >= 1, "max_depth must be >= 1")
+        require(min_samples_split >= 2, "min_samples_split must be >= 2")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self._root: Optional[_TreeNode] = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit the tree; returns ``self``."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        require(X.ndim == 2, "features must be 2-D")
+        require(y.ndim == 1 and y.size == X.shape[0], "targets must align with rows")
+        rng = rng_from_seed(self.seed)
+        self._root = self._build(X, y, depth=0, rng=rng)
+        return self
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _TreeNode:
+        node_value = float(np.mean(y))
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or float(np.var(y)) < 1e-12
+        ):
+            return _TreeNode(value=node_value)
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return _TreeNode(value=node_value)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1, rng)
+        right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return _TreeNode(
+            value=node_value, feature=feature, threshold=threshold,
+            left=left, right=right,
+        )
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> Optional[Tuple[int, float]]:
+        num_features = X.shape[1]
+        if self.max_features is None or self.max_features >= num_features:
+            candidate_features = np.arange(num_features)
+        else:
+            candidate_features = rng.choice(
+                num_features, size=self.max_features, replace=False
+            )
+        base_impurity = float(np.var(y)) * y.size
+        best: Optional[Tuple[int, float]] = None
+        best_gain = 1e-12
+        for feature in candidate_features:
+            column = X[:, feature]
+            # Candidate thresholds at midpoints between sorted unique values.
+            unique_vals = np.unique(column)
+            if unique_vals.size < 2:
+                continue
+            thresholds = (unique_vals[:-1] + unique_vals[1:]) / 2.0
+            if thresholds.size > 16:
+                thresholds = np.quantile(column, np.linspace(0.05, 0.95, 16))
+            for threshold in thresholds:
+                mask = column <= threshold
+                left_count = int(np.sum(mask))
+                if left_count == 0 or left_count == y.size:
+                    continue
+                left_impurity = float(np.var(y[mask])) * left_count
+                right_impurity = float(np.var(y[~mask])) * (y.size - left_count)
+                gain = base_impurity - left_impurity - right_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold))
+        return best
+
+    # -------------------------------------------------------------- predict
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        require(self._root is not None, "tree is not fitted")
+        X = np.asarray(features, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.array([self._predict_row(row) for row in X])
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value if node is not None else 0.0
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        feature_fraction: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        require(num_trees >= 1, "num_trees must be >= 1")
+        require(0 < feature_fraction <= 1, "feature_fraction must be in (0, 1]")
+        self.num_trees = int(num_trees)
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.feature_fraction = float(feature_fraction)
+        self.seed = int(seed)
+        self._trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        """Fit the ensemble; returns ``self``."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        require(X.ndim == 2, "features must be 2-D")
+        require(y.size == X.shape[0], "targets must align with rows")
+        rng = rng_from_seed(self.seed)
+        max_features = max(1, int(round(self.feature_fraction * X.shape[1])))
+        self._trees = []
+        for tree_index in range(self.num_trees):
+            indices = rng.integers(0, X.shape[0], size=X.shape[0])
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=self.seed + tree_index + 1,
+            )
+            tree.fit(X[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets by averaging the trees."""
+        require(bool(self._trees), "forest is not fitted")
+        predictions = np.stack([tree.predict(features) for tree in self._trees])
+        return predictions.mean(axis=0)

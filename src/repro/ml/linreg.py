@@ -1,0 +1,127 @@
+"""Linear and ridge regression, plus non-negative weight fitting.
+
+SENSEI's weight inference (§4.2) solves ``Q_j = Σ_i w_i q_{i,j}`` for the
+per-chunk weights ``w_i`` from crowdsourced MOS values ``Q_j``.  Because the
+weights represent relative sensitivity they should be non-negative; the
+paper uses "a simple regression", and we provide both plain/ridge least
+squares and a projected-gradient non-negative variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import require, require_non_negative
+
+
+@dataclass
+class LinearRegression:
+    """Ordinary least squares with an optional intercept."""
+
+    fit_intercept: bool = True
+    coefficients: Optional[np.ndarray] = None
+    intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        """Fit the model; returns ``self`` for chaining."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        require(X.ndim == 2, "features must be a 2-D matrix")
+        require(y.ndim == 1 and y.size == X.shape[0], "targets must align with rows")
+        if self.fit_intercept:
+            X = np.hstack([X, np.ones((X.shape[0], 1))])
+        solution, *_ = np.linalg.lstsq(X, y, rcond=None)
+        if self.fit_intercept:
+            self.coefficients = solution[:-1]
+            self.intercept = float(solution[-1])
+        else:
+            self.coefficients = solution
+            self.intercept = 0.0
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        require(self.coefficients is not None, "model is not fitted")
+        X = np.asarray(features, dtype=float)
+        return X @ self.coefficients + self.intercept
+
+
+@dataclass
+class RidgeRegression:
+    """L2-regularised least squares (closed form)."""
+
+    alpha: float = 1.0
+    fit_intercept: bool = True
+    coefficients: Optional[np.ndarray] = None
+    intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        """Fit the model; returns ``self``."""
+        require_non_negative(self.alpha, "alpha")
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        require(X.ndim == 2, "features must be a 2-D matrix")
+        require(y.ndim == 1 and y.size == X.shape[0], "targets must align with rows")
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        identity = np.eye(X.shape[1])
+        self.coefficients = np.linalg.solve(
+            Xc.T @ Xc + self.alpha * identity, Xc.T @ yc
+        )
+        self.intercept = y_mean - float(x_mean @ self.coefficients)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        require(self.coefficients is not None, "model is not fitted")
+        X = np.asarray(features, dtype=float)
+        return X @ self.coefficients + self.intercept
+
+
+def fit_nonnegative_weights(
+    design: np.ndarray,
+    targets: np.ndarray,
+    ridge_alpha: float = 1e-3,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Solve ``min_w ||design @ w - targets||^2 + alpha ||w||^2`` s.t. ``w >= 0``.
+
+    Projected gradient descent with an adaptive step size.  Used by SENSEI's
+    weight inference, where negative sensitivity weights have no physical
+    meaning.
+    """
+    X = np.asarray(design, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    require(X.ndim == 2, "design must be 2-D")
+    require(y.ndim == 1 and y.size == X.shape[0], "targets must align with rows")
+    require_non_negative(ridge_alpha, "ridge_alpha")
+    num_features = X.shape[1]
+
+    gram = X.T @ X + ridge_alpha * np.eye(num_features)
+    moment = X.T @ y
+    # Lipschitz constant of the gradient gives a safe step size.
+    lipschitz = float(np.linalg.norm(gram, 2))
+    step = 1.0 / max(lipschitz, 1e-9)
+
+    weights = np.full(num_features, max(float(np.mean(y)), 1e-3))
+    previous_loss = np.inf
+    for _ in range(max_iterations):
+        gradient = gram @ weights - moment
+        weights = np.maximum(0.0, weights - step * gradient)
+        residual = X @ weights - y
+        loss = float(residual @ residual + ridge_alpha * weights @ weights)
+        if abs(previous_loss - loss) < tolerance * max(1.0, abs(previous_loss)):
+            break
+        previous_loss = loss
+    return weights

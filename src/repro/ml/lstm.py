@@ -1,0 +1,197 @@
+"""LSTM cell and a sequence-to-one regressor (from scratch).
+
+The LSTM-QoE baseline (Eswara et al., 2019) feeds a per-chunk feature
+sequence (visual quality, rebuffering, bitrate changes) through an LSTM to
+capture the "memory effect" of past quality incidents and outputs a QoE
+score.  This module implements the cell and a small sequence regressor with
+truncated BPTT, sufficient to train the baseline on the MOS data generated
+by the crowdsourcing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.nn import AdamOptimizer, sigmoid
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require
+
+
+class LSTMCell:
+    """A single LSTM cell with combined gate weights."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: int = 0) -> None:
+        require(input_dim >= 1, "input_dim must be >= 1")
+        require(hidden_dim >= 1, "hidden_dim must be >= 1")
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        rng = rng_from_seed(seed)
+        scale = 1.0 / np.sqrt(hidden_dim)
+        concat_dim = input_dim + hidden_dim
+        # Gates ordered: input, forget, candidate, output.
+        self.parameters: Dict[str, np.ndarray] = {
+            "W": scale * rng.standard_normal((concat_dim, 4 * hidden_dim)),
+            "b": np.zeros(4 * hidden_dim),
+        }
+        # Forget-gate bias initialised to 1 (standard trick for stability).
+        self.parameters["b"][hidden_dim : 2 * hidden_dim] = 1.0
+
+    def forward(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """One step; returns (h, c, cache for backprop)."""
+        concat = np.concatenate([x, h_prev])
+        gates = concat @ self.parameters["W"] + self.parameters["b"]
+        H = self.hidden_dim
+        i_gate = sigmoid(gates[:H])
+        f_gate = sigmoid(gates[H : 2 * H])
+        g_gate = np.tanh(gates[2 * H : 3 * H])
+        o_gate = sigmoid(gates[3 * H :])
+        c = f_gate * c_prev + i_gate * g_gate
+        h = o_gate * np.tanh(c)
+        cache = {
+            "concat": concat, "i": i_gate, "f": f_gate, "g": g_gate, "o": o_gate,
+            "c": c, "c_prev": c_prev,
+        }
+        return h, c, cache
+
+    def backward(
+        self,
+        dh: np.ndarray,
+        dc_next: np.ndarray,
+        cache: dict,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+        """Backward through one step.
+
+        Returns (dh_prev, dc_prev, parameter gradients).
+        """
+        H = self.hidden_dim
+        i_gate, f_gate, g_gate, o_gate = cache["i"], cache["f"], cache["g"], cache["o"]
+        c, c_prev, concat = cache["c"], cache["c_prev"], cache["concat"]
+
+        tanh_c = np.tanh(c)
+        do = dh * tanh_c
+        dc = dh * o_gate * (1 - tanh_c ** 2) + dc_next
+        di = dc * g_gate
+        df = dc * c_prev
+        dg = dc * i_gate
+        dc_prev = dc * f_gate
+
+        d_gates = np.concatenate([
+            di * i_gate * (1 - i_gate),
+            df * f_gate * (1 - f_gate),
+            dg * (1 - g_gate ** 2),
+            do * o_gate * (1 - o_gate),
+        ])
+        gradients = {
+            "W": np.outer(concat, d_gates),
+            "b": d_gates,
+        }
+        d_concat = self.parameters["W"] @ d_gates
+        dh_prev = d_concat[self.input_dim :]
+        return dh_prev, dc_prev, gradients
+
+
+class LSTMRegressor:
+    """Sequence-to-one regressor: LSTM over chunk features, linear head.
+
+    Parameters
+    ----------
+    input_dim:
+        Number of per-chunk features.
+    hidden_dim:
+        LSTM hidden size.
+    learning_rate:
+        Adam learning rate used by :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 16,
+        learning_rate: float = 5e-3,
+        seed: int = 0,
+    ) -> None:
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.cell = LSTMCell(input_dim, hidden_dim, seed=seed)
+        rng = rng_from_seed(seed + 1)
+        self.head: Dict[str, np.ndarray] = {
+            "Wy": rng.standard_normal((hidden_dim, 1)) / np.sqrt(hidden_dim),
+            "by": np.zeros(1),
+        }
+        self._optimizer = AdamOptimizer(learning_rate=learning_rate)
+
+    # ----------------------------------------------------------------- API
+
+    def predict_sequence(self, sequence: np.ndarray) -> float:
+        """Predict the scalar target for one (T, input_dim) sequence."""
+        outputs, _ = self._forward(np.asarray(sequence, dtype=float))
+        return float(outputs)
+
+    def predict(self, sequences: List[np.ndarray]) -> np.ndarray:
+        """Predict targets for a list of sequences."""
+        return np.array([self.predict_sequence(seq) for seq in sequences])
+
+    def fit(
+        self,
+        sequences: List[np.ndarray],
+        targets: np.ndarray,
+        epochs: int = 30,
+        shuffle_seed: int = 0,
+    ) -> "LSTMRegressor":
+        """Train with per-sequence SGD (Adam); returns ``self``."""
+        require(len(sequences) == len(targets), "sequences and targets must align")
+        require(len(sequences) >= 1, "need at least one training sequence")
+        targets = np.asarray(targets, dtype=float)
+        rng = rng_from_seed(shuffle_seed)
+        for _ in range(int(epochs)):
+            order = rng.permutation(len(sequences))
+            for index in order:
+                self._train_step(np.asarray(sequences[index], dtype=float),
+                                 float(targets[index]))
+        return self
+
+    # ------------------------------------------------------------ internals
+
+    def _forward(self, sequence: np.ndarray) -> Tuple[float, dict]:
+        require(sequence.ndim == 2, "sequence must be (T, input_dim)")
+        require(sequence.shape[1] == self.input_dim, "feature dimension mismatch")
+        h = np.zeros(self.hidden_dim)
+        c = np.zeros(self.hidden_dim)
+        caches = []
+        for step in range(sequence.shape[0]):
+            h, c, cache = self.cell.forward(sequence[step], h, c)
+            caches.append(cache)
+        output = float(h @ self.head["Wy"][:, 0] + self.head["by"][0])
+        return output, {"caches": caches, "h_final": h, "sequence": sequence}
+
+    def _train_step(self, sequence: np.ndarray, target: float) -> float:
+        output, state = self._forward(sequence)
+        error = output - target
+        # Head gradients.
+        grad_head = {
+            "Wy": np.outer(state["h_final"], np.array([error])),
+            "by": np.array([error]),
+        }
+        # Backprop through time.
+        dh = error * self.head["Wy"][:, 0]
+        dc = np.zeros(self.hidden_dim)
+        total_cell_grads = {
+            "W": np.zeros_like(self.cell.parameters["W"]),
+            "b": np.zeros_like(self.cell.parameters["b"]),
+        }
+        for cache in reversed(state["caches"]):
+            dh, dc, grads = self.cell.backward(dh, dc, cache)
+            total_cell_grads["W"] += grads["W"]
+            total_cell_grads["b"] += grads["b"]
+        # Gradient clipping for stability.
+        for grads in (total_cell_grads, grad_head):
+            for name, grad in grads.items():
+                np.clip(grad, -5.0, 5.0, out=grad)
+        self._optimizer.update(self.cell.parameters, total_cell_grads)
+        self._optimizer.update(self.head, grad_head)
+        return 0.5 * error * error

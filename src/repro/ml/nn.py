@@ -1,0 +1,160 @@
+"""Minimal neural-network building blocks: MLP layers, activations, Adam.
+
+Used by the Pensieve-style actor–critic agent (policy and value networks)
+and by the LSTM-QoE output head.  Backpropagation is implemented manually —
+each module exposes ``forward`` and ``backward`` so the RL and sequence
+models can compose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(0.0, x)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Gradient mask of the ReLU."""
+    return (x > 0).astype(float)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class AdamOptimizer:
+    """Adam optimiser over a dictionary of named parameter arrays."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        require(learning_rate > 0, "learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moment: Dict[str, np.ndarray] = {}
+        self._second_moment: Dict[str, np.ndarray] = {}
+        self._step = 0
+
+    def update(
+        self, parameters: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
+    ) -> None:
+        """Apply one Adam step in place."""
+        self._step += 1
+        for name, grad in gradients.items():
+            if name not in parameters:
+                continue
+            if name not in self._first_moment:
+                self._first_moment[name] = np.zeros_like(grad)
+                self._second_moment[name] = np.zeros_like(grad)
+            m = self._first_moment[name]
+            v = self._second_moment[name]
+            m[...] = self.beta1 * m + (1 - self.beta1) * grad
+            v[...] = self.beta2 * v + (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1 ** self._step)
+            v_hat = v / (1 - self.beta2 ** self._step)
+            parameters[name] -= (
+                self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            )
+
+
+class MLP:
+    """A small fully connected network with ReLU hidden layers.
+
+    The output layer is linear; callers apply softmax (policy head) or use
+    the raw scalar (value head / regressors) as needed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        output_dim: int,
+        seed: int = 0,
+    ) -> None:
+        require(input_dim >= 1, "input_dim must be >= 1")
+        require(output_dim >= 1, "output_dim must be >= 1")
+        self.input_dim = int(input_dim)
+        self.hidden_dims = [int(h) for h in hidden_dims]
+        self.output_dim = int(output_dim)
+        rng = rng_from_seed(seed)
+        self.parameters: Dict[str, np.ndarray] = {}
+        dims = [self.input_dim] + self.hidden_dims + [self.output_dim]
+        for layer, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            scale = np.sqrt(2.0 / fan_in)
+            self.parameters[f"W{layer}"] = scale * rng.standard_normal((fan_in, fan_out))
+            self.parameters[f"b{layer}"] = np.zeros(fan_out)
+        self.num_layers = len(dims) - 1
+
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass; returns (outputs, cached pre-activations/activations)."""
+        x = np.asarray(inputs, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x.reshape(1, -1)
+        cache: List[np.ndarray] = [x]
+        activation = x
+        for layer in range(self.num_layers):
+            pre = activation @ self.parameters[f"W{layer}"] + self.parameters[f"b{layer}"]
+            cache.append(pre)
+            if layer < self.num_layers - 1:
+                activation = relu(pre)
+                cache.append(activation)
+            else:
+                activation = pre
+        output = activation[0] if single else activation
+        return output, cache
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass without keeping the cache."""
+        output, _ = self.forward(inputs)
+        return output
+
+    def backward(
+        self, cache: List[np.ndarray], output_gradient: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Backward pass; returns gradients keyed like :attr:`parameters`."""
+        grad = np.asarray(output_gradient, dtype=float)
+        if grad.ndim == 1:
+            grad = grad.reshape(1, -1)
+        gradients: Dict[str, np.ndarray] = {}
+        # cache layout: [input, pre0, act0, pre1, act1, ..., preLast]
+        for layer in reversed(range(self.num_layers)):
+            if layer == 0:
+                layer_input = cache[0]
+            else:
+                layer_input = cache[2 * layer]
+            pre_index = 2 * layer + 1
+            gradients[f"W{layer}"] = layer_input.T @ grad
+            gradients[f"b{layer}"] = grad.sum(axis=0)
+            if layer > 0:
+                grad = grad @ self.parameters[f"W{layer}"].T
+                grad = grad * relu_grad(cache[pre_index - 1])
+        return gradients
+
+    def copy_parameters_from(self, other: "MLP") -> None:
+        """Copy parameters from another MLP of the same shape."""
+        for name, value in other.parameters.items():
+            self.parameters[name] = value.copy()

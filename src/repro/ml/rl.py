@@ -1,0 +1,163 @@
+"""Actor–critic policy-gradient agent (Pensieve-style, from scratch).
+
+Pensieve trains an A3C agent whose policy maps player state (throughput
+history, buffer, next chunk sizes, last bitrate) to a distribution over
+bitrate levels, with a value network as baseline and an entropy bonus for
+exploration.  This module provides a single-threaded advantage actor–critic
+with the same ingredients, small enough to train inside the test/benchmark
+budget while exercising the identical SENSEI augmentation path (weights in
+the state, proactive-rebuffering actions, reweighted reward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.nn import MLP, AdamOptimizer, softmax
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ActorCriticConfig:
+    """Hyper-parameters of the actor–critic agent."""
+
+    state_dim: int
+    num_actions: int
+    hidden_dims: Tuple[int, ...] = (64, 32)
+    actor_learning_rate: float = 1e-3
+    critic_learning_rate: float = 2e-3
+    discount: float = 0.99
+    entropy_weight: float = 0.02
+    entropy_decay: float = 0.995
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.state_dim >= 1, "state_dim must be >= 1")
+        require(self.num_actions >= 2, "num_actions must be >= 2")
+        require(0 < self.discount <= 1, "discount must be in (0, 1]")
+
+
+@dataclass
+class EpisodeBuffer:
+    """Trajectory storage for one episode (one streaming session)."""
+
+    states: List[np.ndarray] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+
+    def add(self, state: np.ndarray, action: int, reward: float) -> None:
+        """Record one transition."""
+        self.states.append(np.asarray(state, dtype=float))
+        self.actions.append(int(action))
+        self.rewards.append(float(reward))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def discounted_returns(self, discount: float) -> np.ndarray:
+        """Discounted return from every step to the end of the episode."""
+        returns = np.zeros(len(self.rewards))
+        running = 0.0
+        for index in reversed(range(len(self.rewards))):
+            running = self.rewards[index] + discount * running
+            returns[index] = running
+        return returns
+
+
+class ActorCriticAgent:
+    """Advantage actor–critic with softmax policy and MLP value baseline."""
+
+    def __init__(self, config: ActorCriticConfig) -> None:
+        self.config = config
+        self.actor = MLP(
+            config.state_dim, config.hidden_dims, config.num_actions,
+            seed=config.seed,
+        )
+        self.critic = MLP(
+            config.state_dim, config.hidden_dims, 1, seed=config.seed + 1,
+        )
+        self._actor_optimizer = AdamOptimizer(config.actor_learning_rate)
+        self._critic_optimizer = AdamOptimizer(config.critic_learning_rate)
+        self._rng = rng_from_seed(config.seed + 2)
+        self._entropy_weight = config.entropy_weight
+
+    # ----------------------------------------------------------------- acting
+
+    def action_probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Policy distribution over actions for one state."""
+        logits, _ = self.actor.forward(state)
+        return softmax(logits)
+
+    def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
+        """Sample an action (or take the argmax when ``greedy``)."""
+        probabilities = self.action_probabilities(state)
+        if greedy:
+            return int(np.argmax(probabilities))
+        return int(self._rng.choice(self.config.num_actions, p=probabilities))
+
+    def state_value(self, state: np.ndarray) -> float:
+        """Critic's value estimate for one state."""
+        value, _ = self.critic.forward(state)
+        return float(np.asarray(value).reshape(-1)[0])
+
+    # --------------------------------------------------------------- training
+
+    def train_on_episode(self, episode: EpisodeBuffer) -> Dict[str, float]:
+        """One policy-gradient update from a completed episode.
+
+        Returns summary statistics (mean return, policy loss, value loss,
+        entropy) useful for monitoring convergence.
+        """
+        require(len(episode) > 0, "cannot train on an empty episode")
+        states = np.stack(episode.states)
+        actions = np.asarray(episode.actions, dtype=int)
+        returns = episode.discounted_returns(self.config.discount)
+
+        values, critic_cache = self.critic.forward(states)
+        values = np.asarray(values).reshape(-1)
+        advantages = returns - values
+        # Normalising advantages stabilises updates with short episodes.
+        if advantages.size > 1 and float(np.std(advantages)) > 1e-9:
+            advantages = (advantages - advantages.mean()) / advantages.std()
+
+        logits, actor_cache = self.actor.forward(states)
+        probabilities = softmax(logits)
+        num_steps = states.shape[0]
+
+        # Policy gradient: d/dlogits of -log pi(a|s) * A  plus entropy bonus.
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(num_steps), actions] = 1.0
+        policy_grad = (probabilities - one_hot) * advantages.reshape(-1, 1)
+        entropy = -np.sum(probabilities * np.log(probabilities + 1e-12), axis=1)
+        entropy_grad = probabilities * (
+            np.log(probabilities + 1e-12)
+            + 1.0
+            - np.sum(
+                probabilities * (np.log(probabilities + 1e-12) + 1.0),
+                axis=1, keepdims=True,
+            )
+        )
+        total_actor_grad = (policy_grad + self._entropy_weight * entropy_grad) / num_steps
+        actor_gradients = self.actor.backward(actor_cache, total_actor_grad)
+        self._actor_optimizer.update(self.actor.parameters, actor_gradients)
+
+        # Critic: squared error against the empirical returns.
+        value_error = (values - returns).reshape(-1, 1) / num_steps
+        critic_gradients = self.critic.backward(critic_cache, value_error)
+        self._critic_optimizer.update(self.critic.parameters, critic_gradients)
+
+        self._entropy_weight *= self.config.entropy_decay
+        policy_loss = float(
+            -np.mean(np.log(probabilities[np.arange(num_steps), actions] + 1e-12)
+                     * advantages)
+        )
+        return {
+            "mean_return": float(np.mean(returns)),
+            "policy_loss": policy_loss,
+            "value_loss": float(np.mean((values - returns) ** 2)),
+            "entropy": float(np.mean(entropy)),
+        }

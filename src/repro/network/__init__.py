@@ -1,0 +1,26 @@
+"""Network substrate: throughput traces and their synthetic generators.
+
+The paper replays throughput traces from the FCC broadband and Norwegian
+3G/HSDPA datasets (0.2–6 Mbps).  The reproduction generates traces with the
+same bandwidth range and burstiness characteristics (see DESIGN.md §2), and
+provides the scaling / Gaussian-noise transformations used by Figures 6, 12b
+and 17.
+"""
+
+from repro.network.trace import ThroughputTrace
+from repro.network.synthetic import (
+    TraceGenerator,
+    FCCLikeGenerator,
+    HSDPALikeGenerator,
+    MarkovTraceGenerator,
+)
+from repro.network.bank import TraceBank
+
+__all__ = [
+    "ThroughputTrace",
+    "TraceGenerator",
+    "FCCLikeGenerator",
+    "HSDPALikeGenerator",
+    "MarkovTraceGenerator",
+    "TraceBank",
+]

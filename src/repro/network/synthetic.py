@@ -1,0 +1,189 @@
+"""Synthetic throughput-trace generators.
+
+Real-world cellular and broadband traces (3G/HSDPA commute traces, FCC
+broadband measurements) show two characteristic behaviours the generators
+reproduce:
+
+* slowly drifting mean capacity with abrupt regime changes (handovers,
+  congestion onset) — modelled as a Markov-modulated mean level;
+* short-timescale variation around the current mean — modelled as lognormal
+  multiplicative noise.
+
+All generators emit :class:`~repro.network.trace.ThroughputTrace` objects in
+the paper's 0.2–6 Mbps range and are fully seeded.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.trace import ThroughputTrace
+from repro.utils.rand import spawn_rng
+from repro.utils.validation import require, require_positive
+
+
+class TraceGenerator(ABC):
+    """Base class for synthetic trace generators."""
+
+    def __init__(self, seed: int = 3) -> None:
+        self.seed = int(seed)
+
+    @abstractmethod
+    def generate(self, name: str, duration_s: float, step_s: float = 1.0) -> ThroughputTrace:
+        """Generate one trace with the given name and duration."""
+
+    def generate_many(
+        self, count: int, duration_s: float, prefix: str = "trace", step_s: float = 1.0
+    ) -> List[ThroughputTrace]:
+        """Generate ``count`` traces named ``{prefix}-{i:02d}``."""
+        require(count >= 1, "count must be >= 1")
+        return [
+            self.generate(f"{prefix}-{i:02d}", duration_s, step_s=step_s)
+            for i in range(count)
+        ]
+
+
+class MarkovTraceGenerator(TraceGenerator):
+    """Markov-modulated trace generator.
+
+    The mean capacity follows a discrete-state Markov chain over capacity
+    levels; the emitted bandwidth multiplies the current mean by lognormal
+    noise.  Regime dwell times and noise magnitude are configurable.
+
+    Parameters
+    ----------
+    capacity_levels_mbps:
+        Possible mean-capacity regimes.
+    switch_probability:
+        Per-step probability of moving to a random other regime.
+    noise_sigma:
+        Sigma of the lognormal multiplicative noise.
+    floor_mbps / ceiling_mbps:
+        Clipping range (defaults to the paper's 0.2–6 Mbps band).
+    """
+
+    def __init__(
+        self,
+        capacity_levels_mbps: Sequence[float] = (0.4, 0.9, 1.6, 2.5, 3.5, 5.0),
+        switch_probability: float = 0.06,
+        noise_sigma: float = 0.25,
+        floor_mbps: float = 0.2,
+        ceiling_mbps: float = 6.0,
+        seed: int = 3,
+    ) -> None:
+        super().__init__(seed=seed)
+        require(len(capacity_levels_mbps) >= 2, "need at least two capacity levels")
+        require(0 < switch_probability < 1, "switch_probability must be in (0, 1)")
+        require(noise_sigma >= 0, "noise_sigma must be >= 0")
+        require(0 < floor_mbps < ceiling_mbps, "need 0 < floor < ceiling")
+        self.capacity_levels_mbps = tuple(float(c) for c in capacity_levels_mbps)
+        self.switch_probability = float(switch_probability)
+        self.noise_sigma = float(noise_sigma)
+        self.floor_mbps = float(floor_mbps)
+        self.ceiling_mbps = float(ceiling_mbps)
+
+    def generate(self, name: str, duration_s: float, step_s: float = 1.0) -> ThroughputTrace:
+        require_positive(duration_s, "duration_s")
+        require_positive(step_s, "step_s")
+        rng = spawn_rng(self.seed, type(self).__name__, name)
+        num_steps = max(2, int(round(duration_s / step_s)))
+        state = int(rng.integers(0, len(self.capacity_levels_mbps)))
+        bandwidths = np.empty(num_steps)
+        for step in range(num_steps):
+            if rng.random() < self.switch_probability:
+                # Prefer neighbouring regimes (gradual degradation) with
+                # occasional long jumps (handover / congestion collapse).
+                if rng.random() < 0.7:
+                    state = int(
+                        np.clip(state + rng.choice([-1, 1]), 0,
+                                len(self.capacity_levels_mbps) - 1)
+                    )
+                else:
+                    state = int(rng.integers(0, len(self.capacity_levels_mbps)))
+            mean = self.capacity_levels_mbps[state]
+            noise = float(np.exp(self.noise_sigma * rng.standard_normal()))
+            bandwidths[step] = mean * noise
+        bandwidths = np.clip(bandwidths, self.floor_mbps, self.ceiling_mbps)
+        timestamps = np.arange(num_steps, dtype=float) * step_s
+        return ThroughputTrace(
+            timestamps_s=timestamps, bandwidths_mbps=bandwidths, name=name
+        )
+
+
+class HSDPALikeGenerator(MarkovTraceGenerator):
+    """Cellular-commute-like traces: low mean, frequent regime changes,
+    occasional near-outages — the harsher end of the paper's trace set.
+
+    Means fall mostly below the top encoding rung (2.85 Mbps), so the ABR
+    algorithm faces non-trivial bitrate decisions, as §7.1 requires.
+    """
+
+    def __init__(self, seed: int = 3) -> None:
+        super().__init__(
+            capacity_levels_mbps=(0.25, 0.45, 0.75, 1.1, 1.6, 2.4),
+            switch_probability=0.10,
+            noise_sigma=0.35,
+            floor_mbps=0.2,
+            ceiling_mbps=4.0,
+            seed=seed,
+        )
+
+
+class FCCLikeGenerator(MarkovTraceGenerator):
+    """Fixed-broadband-like traces: higher mean, rarer regime changes,
+    milder short-term variation."""
+
+    def __init__(self, seed: int = 3) -> None:
+        super().__init__(
+            capacity_levels_mbps=(0.9, 1.5, 2.1, 2.8, 3.6, 4.5),
+            switch_probability=0.04,
+            noise_sigma=0.18,
+            floor_mbps=0.3,
+            ceiling_mbps=6.0,
+            seed=seed,
+        )
+
+
+class RandomWalkTraceGenerator(TraceGenerator):
+    """A bounded geometric random walk, useful for stress tests.
+
+    Each step multiplies the current bandwidth by a lognormal factor and
+    reflects off the configured floor/ceiling.
+    """
+
+    def __init__(
+        self,
+        start_mbps: float = 2.0,
+        step_sigma: float = 0.12,
+        floor_mbps: float = 0.2,
+        ceiling_mbps: float = 6.0,
+        seed: int = 3,
+    ) -> None:
+        super().__init__(seed=seed)
+        require_positive(start_mbps, "start_mbps")
+        require(step_sigma >= 0, "step_sigma must be >= 0")
+        require(0 < floor_mbps < ceiling_mbps, "need 0 < floor < ceiling")
+        self.start_mbps = float(start_mbps)
+        self.step_sigma = float(step_sigma)
+        self.floor_mbps = float(floor_mbps)
+        self.ceiling_mbps = float(ceiling_mbps)
+
+    def generate(self, name: str, duration_s: float, step_s: float = 1.0) -> ThroughputTrace:
+        require_positive(duration_s, "duration_s")
+        rng = spawn_rng(self.seed, type(self).__name__, name)
+        num_steps = max(2, int(round(duration_s / step_s)))
+        bandwidths = np.empty(num_steps)
+        current = self.start_mbps
+        for step in range(num_steps):
+            current *= float(np.exp(self.step_sigma * rng.standard_normal()))
+            if current < self.floor_mbps:
+                current = self.floor_mbps * (self.floor_mbps / max(current, 1e-6))
+            current = float(np.clip(current, self.floor_mbps, self.ceiling_mbps))
+            bandwidths[step] = current
+        timestamps = np.arange(num_steps, dtype=float) * step_s
+        return ThroughputTrace(
+            timestamps_s=timestamps, bandwidths_mbps=bandwidths, name=name
+        )

@@ -1,0 +1,226 @@
+"""Throughput traces: piecewise-constant bandwidth over time.
+
+A trace is a sequence of (timestamp, bandwidth) samples.  Bandwidth is held
+constant between consecutive timestamps and the trace wraps around when a
+streaming session outlives it (standard practice in trace-driven ABR
+evaluation, e.g. Pensieve's simulator).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require, require_positive
+
+_MIN_BANDWIDTH_MBPS = 0.01  # floor to keep download times finite
+
+
+@dataclass(frozen=True)
+class ThroughputTrace:
+    """A piecewise-constant throughput trace.
+
+    Attributes
+    ----------
+    timestamps_s:
+        Strictly increasing sample times in seconds, starting at 0.
+    bandwidths_mbps:
+        Bandwidth in Mbps for the interval starting at each timestamp.
+    name:
+        Identifier used in reports (e.g. ``"hsdpa-03"``).
+    """
+
+    timestamps_s: np.ndarray
+    bandwidths_mbps: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        ts = np.asarray(self.timestamps_s, dtype=float)
+        bw = np.asarray(self.bandwidths_mbps, dtype=float)
+        object.__setattr__(self, "timestamps_s", ts)
+        object.__setattr__(self, "bandwidths_mbps", bw)
+        require(ts.ndim == 1 and bw.ndim == 1, "trace arrays must be 1-D")
+        require(ts.size == bw.size, "timestamps and bandwidths must align")
+        require(ts.size >= 1, "trace must have at least one sample")
+        require(abs(float(ts[0])) < 1e-9, "trace must start at t=0")
+        require(bool(np.all(np.diff(ts) > 0)), "timestamps must be increasing")
+        require(bool(np.all(bw > 0)), "bandwidths must be positive")
+
+    # --------------------------------------------------------------- basics
+
+    @property
+    def duration_s(self) -> float:
+        """Nominal duration: last timestamp plus the median sample spacing."""
+        if self.timestamps_s.size == 1:
+            return 1.0
+        spacing = float(np.median(np.diff(self.timestamps_s)))
+        return float(self.timestamps_s[-1]) + spacing
+
+    @property
+    def mean_mbps(self) -> float:
+        """Mean bandwidth in Mbps."""
+        return float(np.mean(self.bandwidths_mbps))
+
+    @property
+    def std_mbps(self) -> float:
+        """Standard deviation of bandwidth in Mbps."""
+        return float(np.std(self.bandwidths_mbps))
+
+    @property
+    def std_kbps(self) -> float:
+        """Standard deviation of bandwidth in kbps (Figure 17's x-axis)."""
+        return self.std_mbps * 1000.0
+
+    def bandwidth_at(self, time_s: float) -> float:
+        """Bandwidth (Mbps) at an absolute time; the trace wraps around."""
+        require(time_s >= 0, "time must be >= 0")
+        wrapped = float(time_s) % self.duration_s
+        index = int(np.searchsorted(self.timestamps_s, wrapped, side="right") - 1)
+        index = max(0, index)
+        return float(self.bandwidths_mbps[index])
+
+    # --------------------------------------------------------- download model
+
+    def download_time_s(self, size_bytes: float, start_time_s: float) -> float:
+        """Seconds needed to download ``size_bytes`` starting at ``start_time_s``.
+
+        Integrates the piecewise-constant bandwidth (with wrap-around) until
+        the requested number of bytes has been delivered.
+        """
+        require_positive(size_bytes, "size_bytes")
+        require(start_time_s >= 0, "start_time_s must be >= 0")
+        remaining_bits = size_bytes * 8.0
+        now = float(start_time_s)
+        elapsed = 0.0
+        # Hard cap to avoid infinite loops on pathological inputs.
+        max_iterations = 10_000_000
+        for _ in range(max_iterations):
+            bandwidth_mbps = max(self.bandwidth_at(now), _MIN_BANDWIDTH_MBPS)
+            rate_bits_per_s = bandwidth_mbps * 1e6
+            boundary = self._next_boundary_after(now)
+            window = boundary - now
+            deliverable = rate_bits_per_s * window
+            if deliverable >= remaining_bits:
+                return elapsed + remaining_bits / rate_bits_per_s
+            remaining_bits -= deliverable
+            elapsed += window
+            now = boundary
+        raise RuntimeError("download_time_s did not converge")
+
+    def _next_boundary_after(self, time_s: float) -> float:
+        wrapped = time_s % self.duration_s
+        cycle_start = time_s - wrapped
+        later = self.timestamps_s[self.timestamps_s > wrapped + 1e-12]
+        if later.size:
+            return cycle_start + float(later[0])
+        return cycle_start + self.duration_s
+
+    # ---------------------------------------------------------- transformations
+
+    def scaled(self, ratio: float, name: Optional[str] = None) -> "ThroughputTrace":
+        """Trace with every bandwidth multiplied by ``ratio`` (Figures 6, 12b)."""
+        require_positive(ratio, "ratio")
+        return replace(
+            self,
+            bandwidths_mbps=self.bandwidths_mbps * ratio,
+            name=name or f"{self.name}*{ratio:g}",
+        )
+
+    def with_added_noise(
+        self, sigma_mbps: float, seed: Optional[int] = None, name: Optional[str] = None
+    ) -> "ThroughputTrace":
+        """Trace with zero-mean Gaussian noise added to every sample (Fig. 17)."""
+        require(sigma_mbps >= 0, "sigma must be >= 0")
+        rng = rng_from_seed(seed)
+        noisy = self.bandwidths_mbps + sigma_mbps * rng.standard_normal(
+            self.bandwidths_mbps.size
+        )
+        noisy = np.maximum(noisy, _MIN_BANDWIDTH_MBPS)
+        return replace(
+            self,
+            bandwidths_mbps=noisy,
+            name=name or f"{self.name}+noise{sigma_mbps:g}",
+        )
+
+    def clipped_to_range(
+        self, low_mbps: float, high_mbps: float
+    ) -> "ThroughputTrace":
+        """Trace with bandwidths clipped into [low, high] Mbps."""
+        require(0 < low_mbps < high_mbps, "need 0 < low < high")
+        return replace(
+            self,
+            bandwidths_mbps=np.clip(self.bandwidths_mbps, low_mbps, high_mbps),
+        )
+
+    def truncated(self, duration_s: float) -> "ThroughputTrace":
+        """Trace truncated to the first ``duration_s`` seconds."""
+        require_positive(duration_s, "duration_s")
+        mask = self.timestamps_s < duration_s
+        require(bool(np.any(mask)), "truncation removes every sample")
+        return replace(
+            self,
+            timestamps_s=self.timestamps_s[mask],
+            bandwidths_mbps=self.bandwidths_mbps[mask],
+        )
+
+    # -------------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "timestamps_s": self.timestamps_s.tolist(),
+            "bandwidths_mbps": self.bandwidths_mbps.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ThroughputTrace":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            timestamps_s=np.asarray(payload["timestamps_s"], dtype=float),
+            bandwidths_mbps=np.asarray(payload["bandwidths_mbps"], dtype=float),
+            name=str(payload.get("name", "trace")),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Save the trace as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ThroughputTrace":
+        """Load a trace saved with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------- constructors
+
+    @classmethod
+    def constant(
+        cls, bandwidth_mbps: float, duration_s: float = 600.0, step_s: float = 1.0,
+        name: str = "constant",
+    ) -> "ThroughputTrace":
+        """A constant-bandwidth trace (useful for tests and sanity checks)."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        require_positive(duration_s, "duration_s")
+        timestamps = np.arange(0.0, duration_s, step_s)
+        return cls(
+            timestamps_s=timestamps,
+            bandwidths_mbps=np.full(timestamps.size, float(bandwidth_mbps)),
+            name=name,
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Tuple[float, float]],
+        name: str = "trace",
+    ) -> "ThroughputTrace":
+        """Build a trace from (timestamp, bandwidth) pairs."""
+        require(len(samples) >= 1, "need at least one sample")
+        ts = np.array([s[0] for s in samples], dtype=float)
+        bw = np.array([s[1] for s in samples], dtype=float)
+        return cls(timestamps_s=ts, bandwidths_mbps=bw, name=name)

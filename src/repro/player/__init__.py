@@ -1,0 +1,30 @@
+"""Player substrate: a trace-driven DASH-style streaming session simulator.
+
+This replaces the paper's DASH.js + Media Source Extensions testbed with a
+discrete-event simulation of the same control loop: download one chunk at a
+time at the level chosen by the ABR algorithm, drain the playback buffer in
+real time, rebuffer when the buffer empties, and — uniquely to SENSEI —
+honour *proactive stalls* scheduled by the ABR algorithm even when the
+buffer is not empty (the MSE SourceBufferSink delay described in §6).
+"""
+
+from repro.player.buffer import PlaybackBuffer
+from repro.player.events import DownloadRecord, StallEvent, SessionTimeline
+from repro.player.session import SessionConfig, StreamingSession, StreamResult
+from repro.player.simulator import simulate_session, simulate_many
+from repro.player.manifest import SenseiManifest, manifest_to_xml, manifest_from_xml
+
+__all__ = [
+    "PlaybackBuffer",
+    "DownloadRecord",
+    "StallEvent",
+    "SessionTimeline",
+    "SessionConfig",
+    "StreamingSession",
+    "StreamResult",
+    "simulate_session",
+    "simulate_many",
+    "SenseiManifest",
+    "manifest_to_xml",
+    "manifest_from_xml",
+]

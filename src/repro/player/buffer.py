@@ -1,0 +1,74 @@
+"""Playback buffer model.
+
+The buffer holds downloaded-but-not-yet-played media, measured in seconds of
+playback.  It drains at one second of media per second of wall-clock time
+while playback is active and grows by one chunk duration when a chunk
+finishes downloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require, require_non_negative, require_positive
+
+
+@dataclass
+class PlaybackBuffer:
+    """Seconds-denominated playback buffer with a capacity cap.
+
+    Attributes
+    ----------
+    capacity_s:
+        Maximum occupancy; real players cap their buffer (DASH.js defaults to
+        tens of seconds) so that downloads pause when the buffer is full.
+    level_s:
+        Current occupancy in seconds.
+    """
+
+    capacity_s: float = 60.0
+    level_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_s, "capacity_s")
+        require_non_negative(self.level_s, "level_s")
+        require(self.level_s <= self.capacity_s, "level cannot exceed capacity")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is no media buffered."""
+        return self.level_s <= 1e-9
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer is at capacity."""
+        return self.level_s >= self.capacity_s - 1e-9
+
+    @property
+    def headroom_s(self) -> float:
+        """Seconds of media that can still be added before hitting capacity."""
+        return max(0.0, self.capacity_s - self.level_s)
+
+    def add_chunk(self, chunk_duration_s: float) -> float:
+        """Add one chunk of media; returns the seconds of *overshoot* beyond
+        capacity that the caller must wait out before continuing downloads."""
+        require_positive(chunk_duration_s, "chunk_duration_s")
+        self.level_s += chunk_duration_s
+        overshoot = max(0.0, self.level_s - self.capacity_s)
+        return overshoot
+
+    def drain(self, seconds: float) -> float:
+        """Drain up to ``seconds`` of media; returns the amount actually
+        drained (less than requested when the buffer runs dry)."""
+        require_non_negative(seconds, "seconds")
+        drained = min(self.level_s, seconds)
+        self.level_s -= drained
+        return drained
+
+    def clamp_to_capacity(self) -> None:
+        """Force the level back to capacity after an overshoot wait."""
+        self.level_s = min(self.level_s, self.capacity_s)
+
+    def reset(self) -> None:
+        """Empty the buffer (start of a session)."""
+        self.level_s = 0.0

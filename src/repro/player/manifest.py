@@ -1,0 +1,173 @@
+"""DASH manifest with SENSEI's per-chunk sensitivity-weight extension.
+
+The paper integrates the per-chunk weights into the DASH protocol by adding
+a new XML field under ``Representation`` in the MPD manifest and teaching the
+player's ``ManifestLoader`` to parse it (§6).  This module reproduces that
+wire format: it builds an MPD-like XML document for an encoded video,
+embeds the weight vector in a ``sensei:weights`` element, and parses it back.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+from repro.video.chunk import EncodingLadder
+from repro.video.encoder import EncodedVideo
+
+#: Namespace used for the SENSEI extension elements.
+SENSEI_NAMESPACE = "urn:sensei:qoe:2021"
+
+
+@dataclass
+class SenseiManifest:
+    """An MPD-like manifest for one encoded video plus sensitivity weights.
+
+    Attributes
+    ----------
+    video_id:
+        Source video identifier.
+    chunk_duration_s:
+        Segment duration in seconds.
+    bitrates_kbps:
+        Ladder bitrates, ascending.
+    segment_sizes_bytes:
+        (num_chunks, num_levels) matrix of segment sizes.
+    weights:
+        Per-chunk sensitivity weights (defaults to all ones).
+    """
+
+    video_id: str
+    chunk_duration_s: float
+    bitrates_kbps: List[float]
+    segment_sizes_bytes: np.ndarray
+    weights: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.segment_sizes_bytes, dtype=float)
+        self.segment_sizes_bytes = sizes
+        require(sizes.ndim == 2, "segment_sizes_bytes must be 2-D")
+        require(
+            sizes.shape[1] == len(self.bitrates_kbps),
+            "segment sizes must have one column per bitrate",
+        )
+        if self.weights.size == 0:
+            self.weights = np.ones(sizes.shape[0])
+        self.weights = np.asarray(self.weights, dtype=float)
+        require(
+            self.weights.shape == (sizes.shape[0],),
+            "weights must have one entry per chunk",
+        )
+        require(bool(np.all(self.weights > 0)), "weights must be positive")
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of segments in the manifest."""
+        return int(self.segment_sizes_bytes.shape[0])
+
+    @property
+    def num_levels(self) -> int:
+        """Number of bitrate levels."""
+        return len(self.bitrates_kbps)
+
+    @classmethod
+    def from_encoded(
+        cls, encoded: EncodedVideo, weights: Optional[Sequence[float]] = None
+    ) -> "SenseiManifest":
+        """Build a manifest from an encoded video and optional weights."""
+        weight_arr = (
+            np.asarray(list(weights), dtype=float)
+            if weights is not None
+            else np.ones(encoded.num_chunks)
+        )
+        return cls(
+            video_id=encoded.source.video_id,
+            chunk_duration_s=encoded.chunk_duration_s,
+            bitrates_kbps=list(encoded.ladder.bitrates_kbps),
+            segment_sizes_bytes=encoded.sizes_matrix(),
+            weights=weight_arr,
+        )
+
+    def ladder(self) -> EncodingLadder:
+        """Encoding ladder described by this manifest."""
+        return EncodingLadder.from_bitrates(self.bitrates_kbps)
+
+
+def manifest_to_xml(manifest: SenseiManifest) -> str:
+    """Serialise a manifest to an MPD-like XML string with the weight field."""
+    root = ET.Element("MPD")
+    root.set("xmlns:sensei", SENSEI_NAMESPACE)
+    root.set("mediaPresentationDuration",
+             f"PT{manifest.num_chunks * manifest.chunk_duration_s:.1f}S")
+    period = ET.SubElement(root, "Period")
+    adaptation = ET.SubElement(period, "AdaptationSet")
+    adaptation.set("contentType", "video")
+    adaptation.set("segmentDuration", f"{manifest.chunk_duration_s:g}")
+    adaptation.set("videoId", manifest.video_id)
+
+    for level, bitrate in enumerate(manifest.bitrates_kbps):
+        representation = ET.SubElement(adaptation, "Representation")
+        representation.set("id", str(level))
+        representation.set("bandwidth", str(int(bitrate * 1000)))
+        segment_list = ET.SubElement(representation, "SegmentList")
+        for chunk_index in range(manifest.num_chunks):
+            segment = ET.SubElement(segment_list, "SegmentURL")
+            segment.set("media", f"{manifest.video_id}_{level}_{chunk_index}.m4s")
+            segment.set(
+                "sensei:size",
+                f"{manifest.segment_sizes_bytes[chunk_index, level]:.0f}",
+            )
+
+    # SENSEI extension: the per-chunk sensitivity weights (Figure 7's
+    # "weight vector to reveal per-chunk quality sensitivity").
+    weights_element = ET.SubElement(adaptation, "sensei:weights")
+    weights_element.text = " ".join(f"{w:.6f}" for w in manifest.weights)
+    return ET.tostring(root, encoding="unicode")
+
+
+def manifest_from_xml(xml_text: str) -> SenseiManifest:
+    """Parse a manifest produced by :func:`manifest_to_xml`."""
+    root = ET.fromstring(xml_text)
+    adaptation = root.find("./Period/AdaptationSet")
+    require(adaptation is not None, "manifest has no AdaptationSet")
+    video_id = adaptation.get("videoId", "unknown")
+    chunk_duration = float(adaptation.get("segmentDuration", "4"))
+
+    bitrates: List[float] = []
+    size_columns: List[List[float]] = []
+    for representation in adaptation.findall("Representation"):
+        bitrates.append(float(representation.get("bandwidth", "0")) / 1000.0)
+        sizes = [
+            float(seg.get(f"{{{SENSEI_NAMESPACE}}}size", seg.get("sensei:size", "0")))
+            for seg in representation.findall("./SegmentList/SegmentURL")
+        ]
+        size_columns.append(sizes)
+    require(bool(bitrates), "manifest has no representations")
+    num_chunks = len(size_columns[0])
+    require(
+        all(len(col) == num_chunks for col in size_columns),
+        "representations disagree on segment count",
+    )
+    sizes_matrix = np.array(size_columns, dtype=float).T
+
+    weights_element = adaptation.find(f"{{{SENSEI_NAMESPACE}}}weights")
+    if weights_element is None:
+        weights_element = adaptation.find("sensei:weights")
+    if weights_element is not None and weights_element.text:
+        weights = np.array(
+            [float(token) for token in weights_element.text.split()], dtype=float
+        )
+    else:
+        weights = np.ones(num_chunks)
+
+    return SenseiManifest(
+        video_id=video_id,
+        chunk_duration_s=chunk_duration,
+        bitrates_kbps=bitrates,
+        segment_sizes_bytes=sizes_matrix,
+        weights=weights,
+    )

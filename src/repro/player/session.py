@@ -1,0 +1,369 @@
+"""The streaming session: the control loop of a DASH-style player.
+
+The session downloads chunks one at a time.  Before each download it builds
+a :class:`~repro.abr.base.PlayerObservation` and asks the ABR algorithm for
+a :class:`~repro.abr.base.Decision`.  Playback drains the buffer in real
+time during downloads; when the buffer runs dry the player rebuffers; when
+the ABR algorithm schedules a *proactive stall* (SENSEI's new action, §5.1),
+playback pauses for that long even though the buffer is not empty, letting
+the buffer grow so that upcoming high-sensitivity chunks can be fetched at a
+higher bitrate without risking an involuntary stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, Decision, PlayerObservation
+from repro.network.trace import ThroughputTrace
+from repro.player.buffer import PlaybackBuffer
+from repro.player.events import (
+    STALL_PROACTIVE,
+    STALL_REBUFFER,
+    STALL_STARTUP,
+    DownloadRecord,
+    SessionTimeline,
+    StallEvent,
+)
+from repro.utils.validation import require, require_positive
+from repro.video.encoder import EncodedVideo
+from repro.video.rendering import RenderedVideo
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Player configuration.
+
+    Attributes
+    ----------
+    buffer_capacity_s:
+        Maximum buffer occupancy; downloads pause when it would be exceeded.
+    observation_horizon:
+        How many upcoming chunks the observation describes (h = 5 in §5.1).
+    history_length:
+        How many past throughput samples the observation carries.
+    """
+
+    buffer_capacity_s: float = 60.0
+    observation_horizon: int = 5
+    history_length: int = 8
+
+    def __post_init__(self) -> None:
+        require_positive(self.buffer_capacity_s, "buffer_capacity_s")
+        require(self.observation_horizon >= 1, "observation_horizon must be >= 1")
+        require(self.history_length >= 1, "history_length must be >= 1")
+
+
+@dataclass
+class StreamResult:
+    """Everything a finished session produced.
+
+    Attributes
+    ----------
+    rendered:
+        The resulting :class:`~repro.video.rendering.RenderedVideo`: per-chunk
+        levels, per-chunk stall time and startup delay.  This is what QoE
+        models score and what simulated raters watch.
+    timeline:
+        Chronological download/stall records.
+    total_bytes:
+        Bytes downloaded across the session.
+    session_duration_s:
+        Wall-clock time from the first request to the end of playback.
+    abr_name:
+        Name of the ABR algorithm that drove the session.
+    trace_name:
+        Name of the throughput trace.
+    """
+
+    rendered: RenderedVideo
+    timeline: SessionTimeline
+    total_bytes: float
+    session_duration_s: float
+    abr_name: str = ""
+    trace_name: str = ""
+
+    @property
+    def startup_delay_s(self) -> float:
+        """Startup (join) delay in seconds."""
+        return self.rendered.startup_delay_s
+
+    @property
+    def total_stall_s(self) -> float:
+        """Total mid-stream stall time in seconds."""
+        return self.rendered.total_stall_s()
+
+    @property
+    def average_bitrate_kbps(self) -> float:
+        """Mean played bitrate."""
+        return self.rendered.average_bitrate_kbps()
+
+    def bandwidth_usage_mbps(self) -> float:
+        """Average download rate over the session (bandwidth footprint)."""
+        if self.session_duration_s <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / 1e6 / self.session_duration_s
+
+
+class StreamingSession:
+    """Runs one ABR algorithm over one encoded video and one trace."""
+
+    def __init__(
+        self,
+        encoded: EncodedVideo,
+        trace: ThroughputTrace,
+        abr: ABRAlgorithm,
+        config: Optional[SessionConfig] = None,
+        chunk_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.encoded = encoded
+        self.trace = trace
+        self.abr = abr
+        self.config = config if config is not None else SessionConfig()
+        if chunk_weights is None:
+            chunk_weights = np.ones(encoded.num_chunks)
+        chunk_weights = np.asarray(chunk_weights, dtype=float)
+        require(
+            chunk_weights.shape == (encoded.num_chunks,),
+            "chunk_weights must have one entry per chunk",
+        )
+        require(bool(np.all(chunk_weights > 0)), "chunk weights must be positive")
+        self.chunk_weights = chunk_weights
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> StreamResult:
+        """Execute the session and return its :class:`StreamResult`."""
+        encoded = self.encoded
+        num_chunks = encoded.num_chunks
+        chunk_duration = encoded.chunk_duration_s
+
+        self.abr.reset()
+        buffer = PlaybackBuffer(capacity_s=self.config.buffer_capacity_s)
+        timeline = SessionTimeline()
+
+        levels = np.zeros(num_chunks, dtype=int)
+        stalls = np.zeros(num_chunks)
+        throughput_history: List[float] = []
+        download_time_history: List[float] = []
+
+        wall_time = 0.0
+        played_s = 0.0
+        startup_delay = 0.0
+        pending_proactive_s = 0.0
+        total_bytes = 0.0
+        playback_started = False
+
+        for chunk_index in range(num_chunks):
+            observation = self._build_observation(
+                chunk_index,
+                buffer.level_s,
+                int(levels[chunk_index - 1]) if chunk_index > 0 else -1,
+                throughput_history,
+                download_time_history,
+            )
+            decision = self.abr.decide(observation)
+            level = ABRAlgorithm.clamp_level(decision.level, encoded.ladder)
+            levels[chunk_index] = level
+            if decision.proactive_stall_s > 0:
+                pending_proactive_s += float(decision.proactive_stall_s)
+
+            size_bytes = encoded.chunk_size_bytes(chunk_index, level)
+            buffer_before = buffer.level_s
+            download_s = self.trace.download_time_s(size_bytes, wall_time)
+            download_start = wall_time
+            total_bytes += size_bytes
+
+            if not playback_started:
+                # Startup: the buffer cannot drain before playback begins.
+                wall_time += download_s
+                startup_delay += download_s
+                buffer.add_chunk(chunk_duration)
+                playback_started = True
+                timeline.add_stall(
+                    StallEvent(
+                        cause=STALL_STARTUP,
+                        chunk_index=0,
+                        start_time_s=download_start,
+                        duration_s=download_s,
+                    )
+                )
+            else:
+                wall_time, played_s, pending_proactive_s = self._advance_playback(
+                    elapsed_s=download_s,
+                    wall_time=wall_time,
+                    played_s=played_s,
+                    buffer=buffer,
+                    stalls=stalls,
+                    timeline=timeline,
+                    pending_proactive_s=pending_proactive_s,
+                    num_chunks=num_chunks,
+                    chunk_duration=chunk_duration,
+                )
+                overshoot = buffer.add_chunk(chunk_duration)
+                if overshoot > 0:
+                    # Buffer full: wait until there is room again.  Playback
+                    # continues during the wait (it cannot stall: the buffer
+                    # is by definition non-empty), so exactly ``overshoot``
+                    # seconds drain and the level returns to capacity.
+                    drained = buffer.drain(overshoot)
+                    played_s += drained
+                    wall_time += overshoot
+
+            timeline.add_download(
+                DownloadRecord(
+                    chunk_index=chunk_index,
+                    level=level,
+                    size_bytes=size_bytes,
+                    start_time_s=download_start,
+                    duration_s=download_s,
+                    throughput_mbps=size_bytes * 8.0 / 1e6 / download_s,
+                    buffer_before_s=buffer_before,
+                    buffer_after_s=buffer.level_s,
+                )
+            )
+            throughput_history.append(size_bytes * 8.0 / 1e6 / download_s)
+            download_time_history.append(download_s)
+
+        # Any proactive stall still pending applies before the remaining
+        # buffered media plays out.
+        if pending_proactive_s > 0:
+            next_chunk = min(num_chunks - 1, int(played_s / chunk_duration + 1e-9))
+            stalls[next_chunk] += pending_proactive_s
+            timeline.add_stall(
+                StallEvent(
+                    cause=STALL_PROACTIVE,
+                    chunk_index=next_chunk,
+                    start_time_s=wall_time,
+                    duration_s=pending_proactive_s,
+                )
+            )
+            wall_time += pending_proactive_s
+
+        # Remaining buffer plays out with no possible stalls.
+        remaining = buffer.level_s
+        wall_time += remaining
+        played_s += remaining
+        buffer.reset()
+
+        rendered = RenderedVideo(
+            encoded=encoded,
+            levels=levels,
+            stalls_s=stalls,
+            startup_delay_s=startup_delay,
+            render_id=(
+                f"{encoded.source.video_id}/{self.abr.name}/{self.trace.name}"
+            ),
+        )
+        return StreamResult(
+            rendered=rendered,
+            timeline=timeline,
+            total_bytes=total_bytes,
+            session_duration_s=wall_time,
+            abr_name=self.abr.name,
+            trace_name=self.trace.name,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _advance_playback(
+        self,
+        elapsed_s: float,
+        wall_time: float,
+        played_s: float,
+        buffer: PlaybackBuffer,
+        stalls: np.ndarray,
+        timeline: SessionTimeline,
+        pending_proactive_s: float,
+        num_chunks: int,
+        chunk_duration: float,
+    ) -> tuple:
+        """Advance wall-clock time by ``elapsed_s`` while playback runs.
+
+        Handles, in order: pending proactive stalls (playback paused, buffer
+        preserved), normal draining, and involuntary rebuffering when the
+        buffer empties.  Returns updated (wall_time, played_s, pending).
+        """
+        remaining = elapsed_s
+        while remaining > 1e-9:
+            next_chunk = min(num_chunks - 1, int(played_s / chunk_duration + 1e-9))
+            if pending_proactive_s > 1e-9:
+                pause = min(pending_proactive_s, remaining)
+                stalls[next_chunk] += pause
+                timeline.add_stall(
+                    StallEvent(
+                        cause=STALL_PROACTIVE,
+                        chunk_index=next_chunk,
+                        start_time_s=wall_time,
+                        duration_s=pause,
+                    )
+                )
+                pending_proactive_s -= pause
+                remaining -= pause
+                wall_time += pause
+                continue
+            if buffer.is_empty:
+                stalls[next_chunk] += remaining
+                timeline.add_stall(
+                    StallEvent(
+                        cause=STALL_REBUFFER,
+                        chunk_index=next_chunk,
+                        start_time_s=wall_time,
+                        duration_s=remaining,
+                    )
+                )
+                wall_time += remaining
+                remaining = 0.0
+                continue
+            drained = buffer.drain(remaining)
+            played_s += drained
+            wall_time += drained
+            remaining -= drained
+        return wall_time, played_s, pending_proactive_s
+
+    def _build_observation(
+        self,
+        chunk_index: int,
+        buffer_s: float,
+        last_level: int,
+        throughput_history: List[float],
+        download_time_history: List[float],
+    ) -> PlayerObservation:
+        horizon = min(
+            self.config.observation_horizon, self.encoded.num_chunks - chunk_index
+        )
+        sizes = np.stack(
+            [
+                self.encoded.chunks[chunk_index + offset].sizes_bytes
+                for offset in range(horizon)
+            ]
+        )
+        quality = np.stack(
+            [
+                self.encoded.chunks[chunk_index + offset].quality
+                for offset in range(horizon)
+            ]
+        )
+        weights = self.chunk_weights[chunk_index : chunk_index + horizon].copy()
+        history_len = self.config.history_length
+        return PlayerObservation(
+            chunk_index=chunk_index,
+            num_chunks=self.encoded.num_chunks,
+            buffer_s=buffer_s,
+            last_level=last_level,
+            throughput_history_mbps=np.asarray(
+                throughput_history[-history_len:], dtype=float
+            ),
+            download_time_history_s=np.asarray(
+                download_time_history[-history_len:], dtype=float
+            ),
+            upcoming_sizes_bytes=sizes,
+            upcoming_quality=quality,
+            upcoming_weights=weights,
+            chunk_duration_s=self.encoded.chunk_duration_s,
+            ladder=self.encoded.ladder,
+            buffer_capacity_s=self.config.buffer_capacity_s,
+        )

@@ -1,0 +1,64 @@
+"""Convenience entry points for running streaming sessions.
+
+These wrap :class:`~repro.player.session.StreamingSession` so that the
+experiment harness and the examples can simulate an (ABR, video, trace)
+combination — or a whole grid of them — in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm
+from repro.network.trace import ThroughputTrace
+from repro.player.session import SessionConfig, StreamingSession, StreamResult
+from repro.video.encoder import EncodedVideo
+
+
+def simulate_session(
+    abr: ABRAlgorithm,
+    encoded: EncodedVideo,
+    trace: ThroughputTrace,
+    config: Optional[SessionConfig] = None,
+    chunk_weights: Optional[np.ndarray] = None,
+) -> StreamResult:
+    """Run one streaming session and return its result."""
+    session = StreamingSession(
+        encoded=encoded,
+        trace=trace,
+        abr=abr,
+        config=config,
+        chunk_weights=chunk_weights,
+    )
+    return session.run()
+
+
+def simulate_many(
+    abrs: Sequence[ABRAlgorithm],
+    videos: Sequence[EncodedVideo],
+    traces: Sequence[ThroughputTrace],
+    config: Optional[SessionConfig] = None,
+    weights_by_video: Optional[Dict[str, np.ndarray]] = None,
+) -> List[Tuple[str, str, str, StreamResult]]:
+    """Simulate every (ABR, video, trace) combination.
+
+    Returns a list of ``(abr_name, video_id, trace_name, result)`` tuples in
+    deterministic iteration order.  ``weights_by_video`` optionally supplies
+    sensitivity weights per video id (used by SENSEI variants); other videos
+    stream with uniform weights.
+    """
+    results: List[Tuple[str, str, str, StreamResult]] = []
+    weights_by_video = weights_by_video or {}
+    for abr in abrs:
+        for encoded in videos:
+            weights = weights_by_video.get(encoded.source.video_id)
+            for trace in traces:
+                result = simulate_session(
+                    abr, encoded, trace, config=config, chunk_weights=weights
+                )
+                results.append(
+                    (abr.name, encoded.source.video_id, trace.name, result)
+                )
+    return results

@@ -1,0 +1,35 @@
+"""QoE models: the ground-truth oracle and the baseline predictors.
+
+The paper compares its per-video reweighted model against three recent QoE
+models with open-source implementations (§2.1): KSQI (additive linear over
+VMAF / rebuffering / switches), P.1203 (random forest over summary metrics)
+and LSTM-QoE (sequence model with a memory effect).  The reproduction
+implements all three on top of the ML substrate, plus the *ground-truth
+oracle* that plays the role of real users: a latent dynamic-sensitivity
+model from which simulated raters draw their opinions.
+"""
+
+from repro.qoe.base import QoEModel, AdditiveQoEModel, chunk_feature_matrix
+from repro.qoe.vqa import vmaf_proxy, ssim_proxy, psnr_proxy
+from repro.qoe.ground_truth import GroundTruthOracle, SensitivityParameters
+from repro.qoe.ksqi import KSQIModel
+from repro.qoe.p1203 import P1203Model, summary_features
+from repro.qoe.lstm_qoe import LSTMQoEModel
+from repro.qoe.metrics import ModelEvaluation, evaluate_model
+
+__all__ = [
+    "QoEModel",
+    "AdditiveQoEModel",
+    "chunk_feature_matrix",
+    "vmaf_proxy",
+    "ssim_proxy",
+    "psnr_proxy",
+    "GroundTruthOracle",
+    "SensitivityParameters",
+    "KSQIModel",
+    "P1203Model",
+    "summary_features",
+    "LSTMQoEModel",
+    "ModelEvaluation",
+    "evaluate_model",
+]

@@ -1,0 +1,234 @@
+"""The ground-truth oracle: how "real users" experience a rendering.
+
+The paper's central claim is that users' sensitivity to quality incidents
+varies with the content of the moment and can only be observed by asking
+them.  In the reproduction, this latent truth is modelled explicitly:
+
+* every chunk has a **latent sensitivity** derived from its (hidden)
+  ``key_moment`` descriptor — goals, climaxes and informational moments are
+  markedly more sensitive than normal gameplay or scenic stretches;
+* the **true QoE** of a rendering is a sensitivity-weighted aggregate of
+  per-chunk imperfections (visual-quality loss, rebuffering, switches) plus
+  a startup-delay penalty;
+* simulated raters (:mod:`repro.crowd`) observe the true QoE through
+  per-worker bias and noise, mirroring how MOS emerges from real MTurk
+  campaigns.
+
+Everything downstream — baseline QoE models, SENSEI's profiling pipeline,
+ABR evaluation — treats the oracle as unobservable except through ratings,
+exactly as the paper treats real users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.validation import require, require_non_negative
+from repro.video.rendering import RenderedVideo
+from repro.video.video import SourceVideo
+
+
+@dataclass(frozen=True)
+class SensitivityParameters:
+    """Parameters of the latent sensitivity model.
+
+    Human reactions to quality incidents are *salient*: a single rebuffering
+    event noticeably hurts the opinion of a multi-minute video rather than
+    being averaged away over its length (this is what makes per-chunk
+    profiling from MOS feasible at all).  Incident penalties are therefore
+    summed per incident — weighted by the sensitivity of the chunk they hit —
+    and saturate smoothly so that many incidents cannot push QoE below zero
+    arbitrarily fast.
+
+    Attributes
+    ----------
+    base_sensitivity:
+        Sensitivity of a chunk with ``key_moment = 0``.
+    key_moment_gain:
+        How much a full-strength key moment raises sensitivity.
+    rebuffer_penalty_per_s:
+        QoE loss per second of stall at (normalised) unit sensitivity.
+    switch_penalty:
+        QoE loss per unit (normalised) bitrate switch at unit sensitivity.
+    quality_loss_weight:
+        QoE loss per unit of missing visual quality at unit sensitivity
+        (applied as a per-chunk average: low bitrate is a sustained, not a
+        salient, impairment).
+    low_bitrate_salience:
+        Extra penalty per chunk-second of *transient* bitrate dip below the
+        locally prevailing bitrate, sensitivity weighted — this is what makes
+        a deliberate bitrate drop at a key moment noticeable, while sustained
+        low bitrate (a genuinely constrained network) is charged only through
+        the quality-loss term.
+    key_quality_salience:
+        Salient penalty for playing a *high-sensitivity* chunk below its best
+        achievable visual quality: a blurry goal moment is memorable on its
+        own, not merely as a fraction of the video average.  This is the
+        term that rewards aligning higher bitrate with higher sensitivity.
+    startup_penalty_per_s:
+        QoE loss per second of startup delay (not sensitivity weighted; the
+        video has not started yet so content cannot modulate it).
+    penalty_saturation:
+        Asymptotic cap of the summed incident penalty (smooth saturation).
+    """
+
+    base_sensitivity: float = 0.25
+    key_moment_gain: float = 2.0
+    rebuffer_penalty_per_s: float = 0.12
+    switch_penalty: float = 0.03
+    quality_loss_weight: float = 0.35
+    low_bitrate_salience: float = 0.05
+    key_quality_salience: float = 0.15
+    startup_penalty_per_s: float = 0.005
+    penalty_saturation: float = 0.75
+
+    def __post_init__(self) -> None:
+        require(self.base_sensitivity > 0, "base_sensitivity must be positive")
+        require_non_negative(self.key_moment_gain, "key_moment_gain")
+        require_non_negative(self.rebuffer_penalty_per_s, "rebuffer_penalty_per_s")
+        require_non_negative(self.switch_penalty, "switch_penalty")
+        require_non_negative(self.quality_loss_weight, "quality_loss_weight")
+        require_non_negative(self.low_bitrate_salience, "low_bitrate_salience")
+        require_non_negative(self.key_quality_salience, "key_quality_salience")
+        require_non_negative(self.startup_penalty_per_s, "startup_penalty_per_s")
+        require(self.penalty_saturation > 0, "penalty_saturation must be positive")
+
+
+class GroundTruthOracle:
+    """Latent dynamic-sensitivity model standing in for real viewers."""
+
+    def __init__(self, parameters: Optional[SensitivityParameters] = None) -> None:
+        self.parameters = parameters if parameters is not None else SensitivityParameters()
+        self._sensitivity_cache: Dict[str, np.ndarray] = {}
+
+    # -------------------------------------------------------------- sensitivity
+
+    def sensitivity_curve(self, video: SourceVideo) -> np.ndarray:
+        """Latent per-chunk sensitivity of a source video.
+
+        Values are positive and average close to 1 for a typical video, so
+        they are directly comparable to the per-chunk weights SENSEI infers.
+        """
+        cached = self._sensitivity_cache.get(video.video_id)
+        if cached is not None and cached.size == video.num_chunks:
+            return cached.copy()
+        params = self.parameters
+        key_moments = video.key_moment_curve()
+        sensitivity = params.base_sensitivity + params.key_moment_gain * key_moments
+        self._sensitivity_cache[video.video_id] = sensitivity.copy()
+        return sensitivity
+
+    def normalized_sensitivity(self, video: SourceVideo) -> np.ndarray:
+        """Sensitivity rescaled to mean 1 (the convention SENSEI's weights use)."""
+        curve = self.sensitivity_curve(video)
+        return curve / float(np.mean(curve))
+
+    # -------------------------------------------------------------------- QoE
+
+    def chunk_incident_penalties(self, rendered: RenderedVideo) -> np.ndarray:
+        """Per-chunk salient-incident penalty (sensitivity weighted).
+
+        Covers rebuffering, bitrate switches and time spent at severely
+        reduced bitrate.  These are *summed* over the video (with
+        saturation), not averaged, because a single incident stays memorable
+        regardless of how long the video is.
+        """
+        params = self.parameters
+        sensitivity = self.normalized_sensitivity(rendered.source)
+        top_bitrate = rendered.encoded.ladder.bitrates_kbps[-1]
+        stall_penalty = params.rebuffer_penalty_per_s * rendered.stalls_s
+        switch_penalty = params.switch_penalty * (
+            rendered.switch_magnitudes_kbps() / top_bitrate
+        )
+        # Transient bitrate dips: how far each chunk falls below the locally
+        # prevailing (median) bitrate of its neighbourhood.  Sustained low
+        # bitrate produces no dip and is charged only via the quality loss.
+        bitrate_norm = rendered.bitrates_kbps() / top_bitrate
+        num_chunks = bitrate_norm.size
+        dips = np.empty(num_chunks)
+        for index in range(num_chunks):
+            lo = max(0, index - 3)
+            hi = min(num_chunks, index + 4)
+            local_reference = float(np.median(bitrate_norm[lo:hi]))
+            dips[index] = max(0.0, local_reference - bitrate_norm[index])
+        # Quadratic in the dip magnitude: a one-rung wobble is barely
+        # noticeable, a drop to the lowest rung at a key moment clearly is.
+        low_bitrate_penalty = (
+            params.low_bitrate_salience * rendered.chunk_duration_s * dips ** 2
+        )
+        # Playing a highly sensitive chunk below its best achievable quality
+        # is memorable in its own right (a blurry goal moment), independent
+        # of how long the video is.
+        top_level = rendered.encoded.ladder.highest_level
+        best_quality = np.array(
+            [
+                rendered.encoded.chunk_quality(i, top_level)
+                for i in range(num_chunks)
+            ]
+        )
+        quality_shortfall = (best_quality - rendered.quality_curve()) / 100.0
+        key_quality_penalty = (
+            params.key_quality_salience
+            * np.maximum(sensitivity - 1.0, 0.0)
+            * quality_shortfall
+        )
+        return (
+            sensitivity * (stall_penalty + switch_penalty + low_bitrate_penalty)
+            + key_quality_penalty
+        )
+
+    def sustained_quality_loss(self, rendered: RenderedVideo) -> float:
+        """Average sensitivity-weighted visual-quality shortfall in [0, ~1]."""
+        params = self.parameters
+        sensitivity = self.normalized_sensitivity(rendered.source)
+        quality = rendered.quality_curve() / 100.0
+        return float(
+            np.mean(sensitivity * params.quality_loss_weight * (1.0 - quality))
+        )
+
+    def chunk_experience(self, rendered: RenderedVideo) -> np.ndarray:
+        """Per-chunk experienced quality in [0, 1] (diagnostic view)."""
+        params = self.parameters
+        sensitivity = self.normalized_sensitivity(rendered.source)
+        quality = rendered.quality_curve() / 100.0
+        quality_loss = sensitivity * params.quality_loss_weight * (1.0 - quality)
+        return np.clip(
+            1.0 - quality_loss - self.chunk_incident_penalties(rendered), 0.0, 1.0
+        )
+
+    def _saturate(self, penalty: float) -> float:
+        """Smoothly cap the summed incident penalty."""
+        cap = self.parameters.penalty_saturation
+        return cap * (1.0 - np.exp(-penalty / cap))
+
+    def true_qoe(self, rendered: RenderedVideo) -> float:
+        """The rendering's true QoE in [0, 1] — what MOS estimates."""
+        incident_penalty = self._saturate(
+            float(np.sum(self.chunk_incident_penalties(rendered)))
+        )
+        quality_loss = self.sustained_quality_loss(rendered)
+        startup_loss = (
+            self.parameters.startup_penalty_per_s * rendered.startup_delay_s
+        )
+        return float(
+            np.clip(1.0 - quality_loss - incident_penalty - startup_loss, 0.0, 1.0)
+        )
+
+    def true_mos(self, rendered: RenderedVideo) -> float:
+        """True QoE expressed on the 1–5 Likert scale used by the surveys."""
+        return 1.0 + 4.0 * self.true_qoe(rendered)
+
+    # ---------------------------------------------------------------- analysis
+
+    def qoe_gap_for_series(self, renderings) -> float:
+        """(Qmax - Qmin) / Qmin over a video series (Figure 3's statistic)."""
+        values = np.array([self.true_qoe(r) for r in renderings])
+        require(values.size >= 2, "a series needs at least two renderings")
+        q_min = float(np.min(values))
+        q_max = float(np.max(values))
+        if q_min <= 1e-9:
+            return float("inf")
+        return (q_max - q_min) / q_min

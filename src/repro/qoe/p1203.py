@@ -1,0 +1,103 @@
+"""P.1203-like QoE model: a random forest over session summary metrics.
+
+ITU-T P.1203 ("P.NATS") combines codec-level quality indicators with
+streaming-incident statistics; the paper's version uses a random-forest
+regressor (§2.1).  The reproduction builds the same kind of model: summary
+features of the whole rendering (no per-chunk position information) fed to
+the from-scratch random forest in :mod:`repro.ml.forest`.  Because the
+features are session-level aggregates, the model is structurally unable to
+distinguish *where* in the video an incident happened — the failure mode
+the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.qoe.base import QoEModel
+from repro.utils.validation import require
+from repro.video.rendering import RenderedVideo
+
+#: Names of the summary features, for documentation and debugging.
+SUMMARY_FEATURE_NAMES = (
+    "mean_quality",
+    "min_quality",
+    "quality_std",
+    "rebuffer_ratio",
+    "num_stalls",
+    "max_stall_s",
+    "mean_bitrate_norm",
+    "num_switches_norm",
+    "mean_switch_magnitude",
+    "startup_delay_s",
+)
+
+
+def summary_features(rendered: RenderedVideo) -> np.ndarray:
+    """Session-level summary feature vector for a rendering."""
+    quality = rendered.quality_curve() / 100.0
+    top = rendered.encoded.ladder.bitrates_kbps[-1]
+    switches = rendered.switch_magnitudes_kbps() / top
+    stalls = rendered.stalls_s
+    return np.array(
+        [
+            float(np.mean(quality)),
+            float(np.min(quality)),
+            float(np.std(quality)),
+            float(rendered.rebuffering_ratio()),
+            float(np.sum(stalls > 0)),
+            float(np.max(stalls)) if stalls.size else 0.0,
+            float(np.mean(rendered.bitrates_kbps()) / top),
+            float(rendered.num_switches()) / max(1, rendered.num_chunks - 1),
+            float(np.mean(switches)),
+            float(rendered.startup_delay_s),
+        ]
+    )
+
+
+class P1203Model(QoEModel):
+    """Random-forest QoE model over session summary features."""
+
+    name = "P.1203"
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        max_depth: int = 6,
+        seed: int = 13,
+    ) -> None:
+        self._forest = RandomForestRegressor(
+            num_trees=num_trees, max_depth=max_depth, seed=seed
+        )
+        self._fitted = False
+        # Untrained fallback coefficients so the model degrades gracefully.
+        self._fallback_quality_weight = 0.85
+        self._fallback_stall_weight = 0.25
+
+    def fit(
+        self, renderings: Sequence[RenderedVideo], mos: Sequence[float]
+    ) -> "P1203Model":
+        """Train the forest on (rendering, MOS) pairs; MOS may be 1–5 or 0–1."""
+        require(len(renderings) == len(mos), "renderings and MOS must align")
+        require(len(renderings) >= 4, "need at least four training points")
+        mos_arr = np.asarray(list(mos), dtype=float)
+        targets = (mos_arr - 1.0) / 4.0 if mos_arr.max() > 1.5 else mos_arr
+        features = np.stack([summary_features(r) for r in renderings])
+        self._forest.fit(features, targets)
+        self._fitted = True
+        return self
+
+    def score(self, rendered: RenderedVideo) -> float:
+        """Predicted QoE in [0, 1]."""
+        if not self._fitted:
+            features = summary_features(rendered)
+            value = (
+                self._fallback_quality_weight * features[0]
+                - self._fallback_stall_weight * features[3] * 10.0
+            )
+            return float(np.clip(value, 0.0, 1.0))
+        prediction = self._forest.predict(summary_features(rendered).reshape(1, -1))
+        return float(np.clip(prediction[0], 0.0, 1.0))

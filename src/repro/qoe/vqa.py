@@ -1,0 +1,55 @@
+"""Visual-quality-assessment proxies (VMAF / SSIM / PSNR).
+
+The real metrics operate on pixels; the reproduction exposes proxies with
+the same qualitative behaviour, derived from the synthetic encoder's
+rate–quality curve and the chunk's content descriptors:
+
+* quality increases with bitrate and saturates (diminishing returns);
+* for the same bitrate, quality is lower on complex / high-motion content;
+* VMAF-style scores live in [0, 100], SSIM in [0, 1], PSNR in dB.
+
+These are exactly the signals KSQI and LSTM-QoE consume in the paper —
+and, importantly, none of them observes the latent ``key_moment`` attention
+signal, which is why heuristic models cannot recover true sensitivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+from repro.video.rendering import RenderedVideo
+
+
+def vmaf_proxy(rendered: RenderedVideo) -> np.ndarray:
+    """Per-chunk VMAF-like score in [0, 100] for the played levels."""
+    return rendered.quality_curve()
+
+
+def ssim_proxy(rendered: RenderedVideo) -> np.ndarray:
+    """Per-chunk SSIM-like score in [0, 1].
+
+    Mapped from the VMAF proxy with a concave transform (SSIM compresses the
+    high-quality end harder than VMAF does).
+    """
+    vmaf = vmaf_proxy(rendered) / 100.0
+    return 1.0 - (1.0 - vmaf) ** 1.5
+
+
+def psnr_proxy(rendered: RenderedVideo) -> np.ndarray:
+    """Per-chunk PSNR-like score in dB (roughly 25–45 dB).
+
+    PSNR is content-agnostic given the same encoder operating point, so the
+    proxy depends only on the played bitrate relative to the top rung plus a
+    complexity penalty.
+    """
+    num_chunks = rendered.num_chunks
+    require(num_chunks > 0, "rendering has no chunks")
+    top_bitrate = rendered.encoded.ladder.bitrates_kbps[-1]
+    values = np.empty(num_chunks)
+    for index in range(num_chunks):
+        bitrate = rendered.bitrate_kbps(index)
+        complexity = rendered.source.descriptor(index).complexity
+        ratio = bitrate / top_bitrate
+        values[index] = 25.0 + 20.0 * np.sqrt(ratio) - 5.0 * complexity
+    return values

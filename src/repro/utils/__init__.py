@@ -1,0 +1,41 @@
+"""Shared utilities: seeded randomness, statistics helpers, validation."""
+
+from repro.utils.rand import rng_from_seed, derive_seed, spawn_rng
+from repro.utils.stats import (
+    pearson_correlation,
+    spearman_correlation,
+    discordant_pair_fraction,
+    relative_error,
+    mean_relative_error,
+    harmonic_mean,
+    normalize_to_unit,
+    cdf_points,
+    percentile,
+)
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_probability,
+)
+
+__all__ = [
+    "rng_from_seed",
+    "derive_seed",
+    "spawn_rng",
+    "pearson_correlation",
+    "spearman_correlation",
+    "discordant_pair_fraction",
+    "relative_error",
+    "mean_relative_error",
+    "harmonic_mean",
+    "normalize_to_unit",
+    "cdf_points",
+    "percentile",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_probability",
+]

@@ -1,0 +1,142 @@
+"""Statistics helpers used by QoE evaluation and the experiment harness.
+
+The correlation metrics mirror the ones reported in the paper:
+Pearson's linear correlation coefficient (PLCC), Spearman's rank
+correlation coefficient (SRCC), and the fraction of discordant pairs
+used in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def _as_float_array(values: Iterable[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=float)
+    require(arr.ndim == 1, f"{name} must be one-dimensional")
+    return arr
+
+
+def pearson_correlation(x: Iterable[float], y: Iterable[float]) -> float:
+    """Pearson's linear correlation coefficient (PLCC).
+
+    Returns 0.0 when either input is constant (correlation undefined),
+    which keeps downstream aggregation well-behaved.
+    """
+    xs = _as_float_array(x, "x")
+    ys = _as_float_array(y, "y")
+    require(xs.size == ys.size, "x and y must have the same length")
+    require(xs.size >= 2, "correlation needs at least two points")
+    if np.std(xs) == 0 or np.std(ys) == 0:
+        return 0.0
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties receiving the mean rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average ranks across ties.
+    unique_vals, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    sums = np.zeros(unique_vals.size)
+    np.add.at(sums, inverse, ranks)
+    return sums[inverse] / counts[inverse]
+
+
+def spearman_correlation(x: Iterable[float], y: Iterable[float]) -> float:
+    """Spearman's rank correlation coefficient (SRCC)."""
+    xs = _as_float_array(x, "x")
+    ys = _as_float_array(y, "y")
+    require(xs.size == ys.size, "x and y must have the same length")
+    require(xs.size >= 2, "correlation needs at least two points")
+    return pearson_correlation(_rank(xs), _rank(ys))
+
+
+def discordant_pair_fraction(
+    true_values: Sequence[float],
+    predicted_values: Sequence[float],
+    tie_tolerance: float = 1e-12,
+) -> float:
+    """Fraction of value pairs whose ordering disagrees between the two lists.
+
+    This is the metric on the y-axis of Figure 2: for every pair of items,
+    check whether the predicted ordering matches the true ordering.  Ties in
+    the ground truth are skipped; a predicted tie against a true non-tie
+    counts as discordant.
+    """
+    truth = _as_float_array(true_values, "true_values")
+    pred = _as_float_array(predicted_values, "predicted_values")
+    require(truth.size == pred.size, "inputs must have the same length")
+    require(truth.size >= 2, "need at least two items to form pairs")
+
+    discordant = 0
+    comparable = 0
+    for i in range(truth.size):
+        for j in range(i + 1, truth.size):
+            true_diff = truth[i] - truth[j]
+            if abs(true_diff) <= tie_tolerance:
+                continue
+            comparable += 1
+            pred_diff = pred[i] - pred[j]
+            if abs(pred_diff) <= tie_tolerance or (true_diff > 0) != (pred_diff > 0):
+                discordant += 1
+    if comparable == 0:
+        return 0.0
+    return discordant / comparable
+
+
+def relative_error(predicted: float, true: float, epsilon: float = 1e-9) -> float:
+    """Relative prediction error ``|predicted - true| / true`` (paper §2.2)."""
+    denom = max(abs(true), epsilon)
+    return abs(predicted - true) / denom
+
+
+def mean_relative_error(
+    predicted: Iterable[float], true: Iterable[float]
+) -> float:
+    """Mean relative prediction error over a test set."""
+    preds = _as_float_array(predicted, "predicted")
+    truth = _as_float_array(true, "true")
+    require(preds.size == truth.size, "inputs must have the same length")
+    require(preds.size > 0, "need at least one prediction")
+    return float(np.mean([relative_error(p, t) for p, t in zip(preds, truth)]))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (used by throughput predictors)."""
+    arr = _as_float_array(values, "values")
+    require(arr.size > 0, "harmonic mean of empty sequence")
+    require(bool(np.all(arr > 0)), "harmonic mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def normalize_to_unit(values: Iterable[float]) -> np.ndarray:
+    """Min-max normalise values to [0, 1]; constant input maps to 0.5."""
+    arr = _as_float_array(values, "values")
+    lo, hi = float(np.min(arr)), float(np.max(arr))
+    if hi - lo < 1e-12:
+        return np.full_like(arr, 0.5)
+    return (arr - lo) / (hi - lo)
+
+
+def cdf_points(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, empirical CDF) suitable for plotting/reporting."""
+    arr = np.sort(_as_float_array(values, "values"))
+    require(arr.size > 0, "cdf of empty sequence")
+    cdf = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, cdf
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Percentile helper with validation (q in [0, 100])."""
+    arr = _as_float_array(values, "values")
+    require(arr.size > 0, "percentile of empty sequence")
+    require(0.0 <= q <= 100.0, "q must be in [0, 100]")
+    return float(np.percentile(arr, q))

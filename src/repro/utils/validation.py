@@ -1,0 +1,50 @@
+"""Small argument-validation helpers used across the package.
+
+They raise ``ValueError`` with a readable message instead of letting bad
+inputs propagate into NumPy where the eventual error is cryptic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``low <= value <= high`` and return it."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return require_in_range(value, 0.0, 1.0, name)
+
+
+def require_type(value: Any, expected_type: type, name: str) -> Any:
+    """Validate that ``value`` is an instance of ``expected_type``."""
+    if not isinstance(value, expected_type):
+        raise TypeError(
+            f"{name} must be {expected_type.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,108 @@
+"""Encoding ladder: the discrete bitrate levels a chunk can be encoded at.
+
+The paper encodes each 4-second chunk with H.264 at five bitrate levels
+{300, 750, 1200, 1850, 2850} kbps, corresponding to the YouTube
+{240, 360, 480, 720, 1080}p rungs (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class EncodingLadder:
+    """An ordered set of bitrate levels available to the ABR algorithm.
+
+    Attributes
+    ----------
+    bitrates_kbps:
+        Strictly increasing bitrates in kilobits per second.
+    labels:
+        Human-readable labels (e.g. resolutions) aligned with the bitrates.
+    """
+
+    bitrates_kbps: Tuple[float, ...]
+    labels: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        require(len(self.bitrates_kbps) >= 2, "a ladder needs at least two levels")
+        require(
+            all(b > 0 for b in self.bitrates_kbps),
+            "bitrates must be strictly positive",
+        )
+        require(
+            all(
+                self.bitrates_kbps[i] < self.bitrates_kbps[i + 1]
+                for i in range(len(self.bitrates_kbps) - 1)
+            ),
+            "bitrates must be strictly increasing",
+        )
+        if self.labels:
+            require(
+                len(self.labels) == len(self.bitrates_kbps),
+                "labels must align with bitrates",
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """Number of bitrate levels in the ladder."""
+        return len(self.bitrates_kbps)
+
+    @property
+    def lowest_level(self) -> int:
+        """Index of the lowest bitrate level (always 0)."""
+        return 0
+
+    @property
+    def highest_level(self) -> int:
+        """Index of the highest bitrate level."""
+        return self.num_levels - 1
+
+    def bitrate_of(self, level: int) -> float:
+        """Bitrate in kbps of a level index."""
+        require(0 <= level < self.num_levels, f"level {level} out of range")
+        return self.bitrates_kbps[level]
+
+    def label_of(self, level: int) -> str:
+        """Label of a level index; falls back to the bitrate if unlabeled."""
+        require(0 <= level < self.num_levels, f"level {level} out of range")
+        if self.labels:
+            return self.labels[level]
+        return f"{self.bitrates_kbps[level]:.0f}kbps"
+
+    def level_for_bitrate(self, bitrate_kbps: float) -> int:
+        """Return the highest level whose bitrate does not exceed the target.
+
+        If even the lowest rung exceeds ``bitrate_kbps`` the lowest level is
+        returned, mirroring how real players always have a floor rung.
+        """
+        chosen = 0
+        for level, rate in enumerate(self.bitrates_kbps):
+            if rate <= bitrate_kbps:
+                chosen = level
+        return chosen
+
+    def levels(self) -> Iterator[int]:
+        """Iterate over level indices in ascending bitrate order."""
+        return iter(range(self.num_levels))
+
+    def chunk_size_bits(self, level: int, chunk_duration_s: float) -> float:
+        """Nominal (CBR) chunk size in bits for a level and chunk duration."""
+        require(chunk_duration_s > 0, "chunk duration must be positive")
+        return self.bitrate_of(level) * 1000.0 * chunk_duration_s
+
+    @classmethod
+    def from_bitrates(cls, bitrates_kbps: Sequence[float]) -> "EncodingLadder":
+        """Build an unlabeled ladder from a bitrate sequence."""
+        return cls(bitrates_kbps=tuple(float(b) for b in bitrates_kbps))
+
+
+#: The ladder used throughout the paper's evaluation (§7.1).
+DEFAULT_LADDER = EncodingLadder(
+    bitrates_kbps=(300.0, 750.0, 1200.0, 1850.0, 2850.0),
+    labels=("240p", "360p", "480p", "720p", "1080p"),
+)

@@ -1,0 +1,244 @@
+"""Per-chunk content descriptors and the synthetic content generator.
+
+The paper's key observation (§2.3) is that a user's sensitivity to a quality
+incident is driven by the *content* of the moment — goals in a soccer game,
+scoreboard changes, tense scenes of an animation — and not by low-level pixel
+statistics.  Since the reproduction has no real pixels, each chunk of a
+source video carries a :class:`ContentDescriptor` summarising the aspects the
+paper discusses:
+
+* ``motion``       — temporal dynamics (camera/object motion), what LSTM-QoE
+                     and VMAF-style metrics key off;
+* ``complexity``   — spatial complexity (texture, detail), what drives
+                     encoding difficulty and chunk sizes;
+* ``information``  — information richness (objects, text, scoreboards), what
+                     CV highlight detectors key off (Appendix D);
+* ``key_moment``   — latent narrative importance / viewer attention, what
+                     *actually* drives dynamic quality sensitivity.
+
+The :class:`ContentGenerator` synthesises per-genre descriptor sequences
+whose structure matches the qualitative description in §2.3 ("Sources of
+dynamic quality sensitivity"): sports videos have short sharp attention
+peaks around goals/buzzer beaters with highly dynamic but low-attention
+gameplay elsewhere; gaming videos have bursty action moments; nature videos
+have long scenic lulls; animation videos have a narrative arc whose tension
+builds towards key scenes.  Crucially, ``key_moment`` is only loosely
+correlated with ``motion``/``information``, which is exactly what makes the
+heuristic baselines (LSTM-QoE, VMAF, CV models) mispredict sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rand import spawn_rng
+from repro.utils.validation import require, require_in_range
+
+#: Genres used in Table 1 of the paper.
+GENRES = ("sports", "gaming", "nature", "animation")
+
+
+@dataclass(frozen=True)
+class ContentDescriptor:
+    """Summary of one chunk's content, all fields in [0, 1]."""
+
+    motion: float
+    complexity: float
+    information: float
+    key_moment: float
+    scene_id: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        require_in_range(self.motion, 0.0, 1.0, "motion")
+        require_in_range(self.complexity, 0.0, 1.0, "complexity")
+        require_in_range(self.information, 0.0, 1.0, "information")
+        require_in_range(self.key_moment, 0.0, 1.0, "key_moment")
+
+    def as_vector(self) -> np.ndarray:
+        """Feature vector (motion, complexity, information) — note that
+        ``key_moment`` is deliberately excluded: it is latent and only
+        observable through user studies."""
+        return np.array([self.motion, self.complexity, self.information])
+
+
+def _clip01(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0.0, 1.0)
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average smoothing with edge padding."""
+    if window <= 1 or values.size <= 2:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.pad(values, (window // 2, window - 1 - window // 2), mode="edge")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def _bump(num_chunks: int, center: int, width: float, height: float) -> np.ndarray:
+    """A Gaussian bump over chunk indices."""
+    idx = np.arange(num_chunks, dtype=float)
+    return height * np.exp(-0.5 * ((idx - center) / max(width, 1e-6)) ** 2)
+
+
+class ContentGenerator:
+    """Generates per-chunk :class:`ContentDescriptor` sequences per genre.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; per-video sequences are derived from it together with the
+        video name so that the catalogue is stable across runs.
+    """
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ API
+
+    def generate(self, name: str, genre: str, num_chunks: int) -> List[ContentDescriptor]:
+        """Generate a descriptor sequence for a named video of a genre."""
+        require(genre in GENRES, f"unknown genre {genre!r}; expected one of {GENRES}")
+        require(num_chunks >= 2, "a video needs at least two chunks")
+        rng = spawn_rng(self.seed, "content", name, genre, num_chunks)
+        if genre == "sports":
+            return self._sports(rng, num_chunks)
+        if genre == "gaming":
+            return self._gaming(rng, num_chunks)
+        if genre == "nature":
+            return self._nature(rng, num_chunks)
+        return self._animation(rng, num_chunks)
+
+    # ------------------------------------------------------- genre processes
+
+    def _sports(self, rng: np.random.Generator, n: int) -> List[ContentDescriptor]:
+        """Sports: fast gameplay with a few sharp key moments (goals) and
+        short informational moments (scoreboard, replays)."""
+        motion = _clip01(0.55 + 0.25 * rng.standard_normal(n))
+        motion = _clip01(_smooth(motion, 3))
+        complexity = _clip01(0.5 + 0.2 * rng.standard_normal(n))
+        information = _clip01(0.35 + 0.15 * rng.standard_normal(n))
+        key = np.full(n, 0.28) + 0.05 * rng.standard_normal(n)
+
+        num_goals = max(1, int(round(n / 18)) + int(rng.integers(0, 2)))
+        goal_centers = sorted(rng.choice(np.arange(2, n - 1), size=num_goals, replace=False))
+        labels = ["gameplay"] * n
+        for center in goal_centers:
+            key += _bump(n, int(center), width=1.0, height=0.75)
+            # A goal is usually followed by a replay / scoreboard change:
+            # informational but markedly less quality sensitive.
+            info_center = min(n - 1, int(center) + 2)
+            information += _bump(n, info_center, width=1.0, height=0.5)
+            # Ads / crowd shots: highly dynamic, low attention.
+            for offset in (-4, 5):
+                c = int(center) + offset
+                if 0 <= c < n:
+                    motion[c] = min(1.0, motion[c] + 0.3)
+            labels[int(center)] = "goal"
+            if info_center < n:
+                labels[info_center] = "scoreboard"
+        scenes = np.cumsum(rng.random(n) < 0.25).astype(int)
+        return self._pack(motion, complexity, information, key, scenes, labels)
+
+    def _gaming(self, rng: np.random.Generator, n: int) -> List[ContentDescriptor]:
+        """Gaming: bursty combat/loot moments with menu or travel lulls."""
+        motion = _clip01(0.5 + 0.3 * rng.standard_normal(n))
+        complexity = _clip01(0.6 + 0.2 * rng.standard_normal(n))
+        information = _clip01(0.4 + 0.2 * rng.standard_normal(n))
+        key = np.full(n, 0.3) + 0.06 * rng.standard_normal(n)
+        labels = ["exploration"] * n
+
+        num_fights = max(1, int(round(n / 14)))
+        centers = sorted(rng.choice(np.arange(1, n - 1), size=num_fights, replace=False))
+        for center in centers:
+            width = float(rng.uniform(1.0, 2.0))
+            key += _bump(n, int(center), width=width, height=0.6)
+            motion += _bump(n, int(center), width=width, height=0.3)
+            labels[int(center)] = "combat"
+            loot = min(n - 1, int(center) + 1)
+            key += _bump(n, loot, width=0.8, height=0.35)
+            labels[loot] = "loot"
+        # Menu screens: information-rich but not sensitive.
+        num_menus = max(1, n // 20)
+        for center in rng.choice(np.arange(n), size=num_menus, replace=False):
+            information[int(center)] = min(1.0, information[int(center)] + 0.4)
+            motion[int(center)] = max(0.0, motion[int(center)] - 0.3)
+            labels[int(center)] = "menu"
+        scenes = np.cumsum(rng.random(n) < 0.2).astype(int)
+        return self._pack(_clip01(motion), complexity, _clip01(information), key, scenes, labels)
+
+    def _nature(self, rng: np.random.Generator, n: int) -> List[ContentDescriptor]:
+        """Nature / scenic: long low-attention stretches with occasional
+        striking moments (an animal appears, a satellite shot resolves)."""
+        motion = _clip01(0.25 + 0.15 * rng.standard_normal(n))
+        motion = _clip01(_smooth(motion, 5))
+        complexity = _clip01(0.45 + 0.25 * rng.standard_normal(n))
+        complexity = _clip01(_smooth(complexity, 5))
+        information = _clip01(0.25 + 0.15 * rng.standard_normal(n))
+        key = np.full(n, 0.18) + 0.04 * rng.standard_normal(n)
+        labels = ["scenic"] * n
+
+        num_moments = max(1, n // 20)
+        centers = rng.choice(np.arange(1, n - 1), size=num_moments, replace=False)
+        for center in centers:
+            key += _bump(n, int(center), width=1.5, height=0.5)
+            labels[int(center)] = "wildlife_moment"
+        scenes = np.cumsum(rng.random(n) < 0.12).astype(int)
+        return self._pack(motion, complexity, information, key, scenes, labels)
+
+    def _animation(self, rng: np.random.Generator, n: int) -> List[ContentDescriptor]:
+        """Animation / movie: a narrative arc whose tension ramps towards a
+        small number of climactic scenes (e.g. the trap in BigBuckBunny)."""
+        motion = _clip01(0.4 + 0.2 * rng.standard_normal(n))
+        motion = _clip01(_smooth(motion, 3))
+        complexity = _clip01(0.5 + 0.2 * rng.standard_normal(n))
+        information = _clip01(0.3 + 0.15 * rng.standard_normal(n))
+        labels = ["story"] * n
+
+        num_acts = max(1, min(3, n // 12))
+        climax_positions = sorted(
+            rng.choice(np.arange(n // 3, n), size=num_acts, replace=False)
+        )
+        key = np.full(n, 0.22) + 0.05 * rng.standard_normal(n)
+        for climax in climax_positions:
+            # Tension builds over several chunks before the climax.
+            ramp_len = int(rng.integers(3, 6))
+            for step in range(ramp_len):
+                pos = int(climax) - (ramp_len - step)
+                if 0 <= pos < n:
+                    key[pos] += 0.25 * (step + 1) / ramp_len
+                    labels[pos] = "tension"
+            key += _bump(n, int(climax), width=1.0, height=0.65)
+            labels[int(climax)] = "climax"
+        scenes = np.cumsum(rng.random(n) < 0.18).astype(int)
+        return self._pack(motion, complexity, information, key, scenes, labels)
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _pack(
+        motion: np.ndarray,
+        complexity: np.ndarray,
+        information: np.ndarray,
+        key: np.ndarray,
+        scenes: np.ndarray,
+        labels: Sequence[str],
+    ) -> List[ContentDescriptor]:
+        motion = _clip01(motion)
+        complexity = _clip01(complexity)
+        information = _clip01(information)
+        key = _clip01(key)
+        return [
+            ContentDescriptor(
+                motion=float(motion[i]),
+                complexity=float(complexity[i]),
+                information=float(information[i]),
+                key_moment=float(key[i]),
+                scene_id=int(scenes[i]),
+                label=str(labels[i]),
+            )
+            for i in range(motion.size)
+        ]

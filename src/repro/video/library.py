@@ -1,0 +1,168 @@
+"""The 16-video test catalogue from Table 1 of the paper.
+
+Each entry keeps the name, genre, length and source dataset from Table 1;
+the actual content is synthesised by :class:`~repro.video.content.ContentGenerator`
+(see DESIGN.md §2 for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.validation import require
+from repro.video.chunk import DEFAULT_LADDER, EncodingLadder
+from repro.video.content import ContentGenerator
+from repro.video.encoder import EncodedVideo, SyntheticEncoder
+from repro.video.video import SourceVideo
+
+
+def _minutes(mm: int, ss: int) -> float:
+    return mm * 60.0 + ss
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """One row of Table 1."""
+
+    video_id: str
+    name: str
+    genre: str
+    duration_s: float
+    source_dataset: str
+    description: str = ""
+
+
+#: Table 1 of the paper: the 16-video evaluation set.
+TEST_VIDEO_SPECS: Tuple[VideoSpec, ...] = (
+    VideoSpec("basket1", "Basket1", "sports", _minutes(3, 40), "LIVE-MOBILE",
+              "A buzzer beater in a basketball game"),
+    VideoSpec("soccer1", "Soccer1", "sports", _minutes(3, 20), "LIVE-NFLX-II",
+              "A goal after a failed shoot"),
+    VideoSpec("basket2", "Basket2", "sports", _minutes(3, 40), "YouTube-UGC",
+              "A free throw followed by a one-on-one defense"),
+    VideoSpec("soccer2", "Soccer2", "sports", _minutes(3, 40), "YouTube-UGC",
+              "Presenting the scoreboard after a goal"),
+    VideoSpec("discus", "Discus", "sports", _minutes(3, 40), "YouTube-UGC",
+              "A man throwing a discus"),
+    VideoSpec("wrestling", "Wrestling", "sports", _minutes(3, 40), "YouTube-UGC",
+              "Two wrestling players"),
+    VideoSpec("motor", "Motor", "sports", _minutes(3, 40), "YouTube-UGC",
+              "Motor racing"),
+    VideoSpec("tank", "Tank", "gaming", _minutes(3, 40), "YouTube-UGC",
+              "A tank attacking a house"),
+    VideoSpec("fps1", "FPS1", "gaming", _minutes(3, 40), "YouTube-UGC",
+              "A first-person shooting game"),
+    VideoSpec("fps2", "FPS2", "gaming", _minutes(3, 40), "YouTube-UGC",
+              "A player robbing supplies"),
+    VideoSpec("mountain", "Mountain", "nature", _minutes(1, 24), "LIVE-MOBILE",
+              "Mountain scene"),
+    VideoSpec("animal", "Animal", "nature", _minutes(3, 40), "YouTube-UGC",
+              "Warthogs that are bathing and grooming"),
+    VideoSpec("space", "Space", "nature", _minutes(3, 40), "YouTube-UGC",
+              "A satellite taking pictures of the Earth"),
+    VideoSpec("girl", "Girl", "animation", _minutes(3, 40), "YouTube-UGC",
+              "A girl falling off the cliff"),
+    VideoSpec("lava", "Lava", "animation", _minutes(3, 40), "LIVE-NFLX-II",
+              "A lava is waking up"),
+    VideoSpec("bigbuckbunny", "BigBuckBunny", "animation", _minutes(9, 56),
+              "WaterlooSQOE-III", "A rabbit dealing with three tiny bullies"),
+)
+
+
+class VideoLibrary:
+    """Materialises Table 1 into :class:`SourceVideo`/:class:`EncodedVideo` objects.
+
+    Parameters
+    ----------
+    chunk_duration_s:
+        Chunk duration (4 s in the paper).
+    seed:
+        Seed for the content generator and the synthetic encoder.
+    ladder:
+        Encoding ladder; defaults to the paper's five-level ladder.
+    """
+
+    def __init__(
+        self,
+        chunk_duration_s: float = 4.0,
+        seed: int = 7,
+        ladder: Optional[EncodingLadder] = None,
+    ) -> None:
+        self.chunk_duration_s = float(chunk_duration_s)
+        self.seed = int(seed)
+        self.ladder = ladder if ladder is not None else DEFAULT_LADDER
+        self._generator = ContentGenerator(seed=self.seed)
+        self._encoder = SyntheticEncoder(seed=self.seed + 1)
+        self._sources: Dict[str, SourceVideo] = {}
+        self._encoded: Dict[str, EncodedVideo] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def video_ids(self) -> List[str]:
+        """All video ids in Table-1 order."""
+        return [spec.video_id for spec in TEST_VIDEO_SPECS]
+
+    def spec(self, video_id: str) -> VideoSpec:
+        """Table-1 row for a video id."""
+        for spec in TEST_VIDEO_SPECS:
+            if spec.video_id == video_id:
+                return spec
+        raise KeyError(f"unknown video id {video_id!r}")
+
+    def source(self, video_id: str) -> SourceVideo:
+        """Source video (content descriptors) for a video id, cached."""
+        if video_id not in self._sources:
+            spec = self.spec(video_id)
+            self._sources[video_id] = SourceVideo.synthesize(
+                video_id=spec.video_id,
+                genre=spec.genre,
+                duration_s=spec.duration_s,
+                chunk_duration_s=self.chunk_duration_s,
+                name=spec.name,
+                source_dataset=spec.source_dataset,
+                generator=self._generator,
+            )
+        return self._sources[video_id]
+
+    def encoded(self, video_id: str) -> EncodedVideo:
+        """Encoded video for a video id, cached."""
+        if video_id not in self._encoded:
+            self._encoded[video_id] = self._encoder.encode(
+                self.source(video_id), self.ladder
+            )
+        return self._encoded[video_id]
+
+    def all_sources(self) -> List[SourceVideo]:
+        """All 16 source videos."""
+        return [self.source(video_id) for video_id in self.video_ids()]
+
+    def all_encoded(self) -> List[EncodedVideo]:
+        """All 16 encoded videos."""
+        return [self.encoded(video_id) for video_id in self.video_ids()]
+
+    def by_genre(self, genre: str) -> List[SourceVideo]:
+        """Source videos of a genre."""
+        videos = [
+            self.source(spec.video_id)
+            for spec in TEST_VIDEO_SPECS
+            if spec.genre == genre
+        ]
+        require(bool(videos), f"no videos of genre {genre!r}")
+        return videos
+
+    def table1_rows(self) -> List[Dict[str, str]]:
+        """Rows reproducing Table 1 (name, genre, length, source dataset)."""
+        rows = []
+        for spec in TEST_VIDEO_SPECS:
+            minutes = int(spec.duration_s // 60)
+            seconds = int(spec.duration_s % 60)
+            rows.append(
+                {
+                    "name": spec.name,
+                    "genre": spec.genre.capitalize(),
+                    "length": f"{minutes}:{seconds:02d}",
+                    "source": spec.source_dataset,
+                }
+            )
+        return rows

@@ -1,0 +1,126 @@
+"""Source video: a sequence of chunks with content descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+from repro.video.content import ContentDescriptor, ContentGenerator, GENRES
+
+
+@dataclass
+class SourceVideo:
+    """A source video split into fixed-duration chunks.
+
+    Attributes
+    ----------
+    video_id:
+        Stable identifier (e.g. ``"soccer1"``).
+    name:
+        Human-readable name from Table 1 (e.g. ``"Soccer1"``).
+    genre:
+        One of ``sports``, ``gaming``, ``nature``, ``animation``.
+    chunk_duration_s:
+        Chunk duration in seconds (4 s in the paper).
+    descriptors:
+        One :class:`ContentDescriptor` per chunk.
+    source_dataset:
+        The public dataset the paper drew the video from (informational).
+    """
+
+    video_id: str
+    name: str
+    genre: str
+    chunk_duration_s: float
+    descriptors: List[ContentDescriptor] = field(default_factory=list)
+    source_dataset: str = ""
+
+    def __post_init__(self) -> None:
+        require(bool(self.video_id), "video_id must be non-empty")
+        require(self.genre in GENRES, f"unknown genre {self.genre!r}")
+        require_positive(self.chunk_duration_s, "chunk_duration_s")
+        require(len(self.descriptors) >= 2, "a video needs at least two chunks")
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks in the video."""
+        return len(self.descriptors)
+
+    @property
+    def duration_s(self) -> float:
+        """Total playback duration in seconds."""
+        return self.num_chunks * self.chunk_duration_s
+
+    def descriptor(self, chunk_index: int) -> ContentDescriptor:
+        """Content descriptor of a chunk."""
+        require(0 <= chunk_index < self.num_chunks, "chunk index out of range")
+        return self.descriptors[chunk_index]
+
+    def chunk_start_time(self, chunk_index: int) -> float:
+        """Playback start time (seconds) of a chunk."""
+        require(0 <= chunk_index < self.num_chunks, "chunk index out of range")
+        return chunk_index * self.chunk_duration_s
+
+    def feature_matrix(self) -> np.ndarray:
+        """(num_chunks, 3) matrix of observable content features."""
+        return np.stack([d.as_vector() for d in self.descriptors])
+
+    def key_moment_curve(self) -> np.ndarray:
+        """Latent key-moment scores per chunk (not observable to baselines)."""
+        return np.array([d.key_moment for d in self.descriptors])
+
+    def chunk_labels(self) -> List[str]:
+        """Content labels per chunk (``goal``, ``climax``, ``scenic`` ...)."""
+        return [d.label for d in self.descriptors]
+
+    # --------------------------------------------------------- constructors
+
+    @classmethod
+    def synthesize(
+        cls,
+        video_id: str,
+        genre: str,
+        duration_s: float,
+        chunk_duration_s: float = 4.0,
+        name: Optional[str] = None,
+        source_dataset: str = "synthetic",
+        generator: Optional[ContentGenerator] = None,
+        seed: int = 7,
+    ) -> "SourceVideo":
+        """Synthesise a source video with genre-appropriate content structure."""
+        require_positive(duration_s, "duration_s")
+        require_positive(chunk_duration_s, "chunk_duration_s")
+        num_chunks = max(2, int(round(duration_s / chunk_duration_s)))
+        gen = generator if generator is not None else ContentGenerator(seed=seed)
+        descriptors = gen.generate(video_id, genre, num_chunks)
+        return cls(
+            video_id=video_id,
+            name=name or video_id,
+            genre=genre,
+            chunk_duration_s=chunk_duration_s,
+            descriptors=descriptors,
+            source_dataset=source_dataset,
+        )
+
+    @classmethod
+    def from_descriptors(
+        cls,
+        video_id: str,
+        genre: str,
+        descriptors: Sequence[ContentDescriptor],
+        chunk_duration_s: float = 4.0,
+        name: Optional[str] = None,
+    ) -> "SourceVideo":
+        """Build a video directly from pre-computed descriptors (tests)."""
+        return cls(
+            video_id=video_id,
+            name=name or video_id,
+            genre=genre,
+            chunk_duration_s=chunk_duration_s,
+            descriptors=list(descriptors),
+        )

@@ -1,0 +1,58 @@
+"""Shared fixtures: a small video, traces and an oracle reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.trace import ThroughputTrace
+from repro.qoe.ground_truth import GroundTruthOracle
+from repro.video.chunk import DEFAULT_LADDER
+from repro.video.encoder import SyntheticEncoder
+from repro.video.library import VideoLibrary
+from repro.video.rendering import render_pristine
+from repro.video.video import SourceVideo
+
+
+@pytest.fixture(scope="session")
+def library() -> VideoLibrary:
+    """The Table-1 video catalogue (session-cached: content is deterministic)."""
+    return VideoLibrary(seed=7)
+
+
+@pytest.fixture(scope="session")
+def oracle() -> GroundTruthOracle:
+    """Ground-truth oracle with default parameters."""
+    return GroundTruthOracle()
+
+
+@pytest.fixture(scope="session")
+def small_video():
+    """A short synthetic sports video (12 chunks) for fast tests."""
+    return SourceVideo.synthesize(
+        "test-sports", "sports", duration_s=48.0, chunk_duration_s=4.0, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def small_encoded(small_video):
+    """The small video encoded on the default ladder."""
+    return SyntheticEncoder(seed=5).encode(small_video, DEFAULT_LADDER)
+
+
+@pytest.fixture(scope="session")
+def pristine(small_encoded):
+    """Pristine rendering of the small video."""
+    return render_pristine(small_encoded)
+
+
+@pytest.fixture(scope="session")
+def constant_trace() -> ThroughputTrace:
+    """A 2 Mbps constant trace."""
+    return ThroughputTrace.constant(2.0, duration_s=600.0, name="const-2mbps")
+
+
+@pytest.fixture(scope="session")
+def slow_trace() -> ThroughputTrace:
+    """A 0.5 Mbps constant trace (forces low bitrates / stalls)."""
+    return ThroughputTrace.constant(0.5, duration_s=600.0, name="const-0.5mbps")

@@ -1,0 +1,170 @@
+"""Tests for the simulated crowdsourcing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.campaign import CampaignConfig, MTurkCampaign
+from repro.crowd.cost import CostModel
+from repro.crowd.survey import build_survey_plan
+from repro.crowd.worker import SimulatedWorker, WorkerPool, WorkerProfile
+from repro.video.rendering import QualityIncident, make_video_series, render_pristine
+
+
+@pytest.fixture(scope="module")
+def series(small_encoded):
+    return make_video_series(small_encoded, QualityIncident.rebuffering(0, 1.0))
+
+
+class TestWorkers:
+    def test_pool_size_and_masters(self):
+        pool = WorkerPool(size=50, master_fraction=0.8, seed=1)
+        profiles = pool.profiles
+        assert len(profiles) == 50
+        master_share = np.mean([p.is_master for p in profiles])
+        assert 0.5 < master_share <= 1.0
+
+    def test_sample_workers_count(self):
+        pool = WorkerPool(size=30, seed=1)
+        assert len(pool.sample_workers(10)) == 10
+
+    def test_sampling_more_than_pool_allows_replacement(self):
+        pool = WorkerPool(size=5, seed=1)
+        assert len(pool.sample_workers(20)) == 20
+
+    def test_attentive_worker_rating_tracks_truth(self, pristine):
+        profile = WorkerProfile(
+            worker_id="w", bias=0.0, noise_sigma=0.0, attention=1.0
+        )
+        worker = SimulatedWorker(profile, seed=3)
+        high = worker.rate(pristine, true_mos=4.8)
+        low = worker.rate(pristine, true_mos=2.0)
+        assert high.score > low.score
+        assert high.watched_fully and high.incident_confirmed
+
+    def test_rating_rounded_to_half_points(self, pristine):
+        profile = WorkerProfile("w", bias=0.1, noise_sigma=0.2, attention=1.0)
+        rating = SimulatedWorker(profile, seed=1).rate(pristine, true_mos=3.7)
+        assert (rating.score * 2) == int(rating.score * 2)
+
+    def test_rating_in_likert_range(self, pristine):
+        profile = WorkerProfile("w", bias=5.0, noise_sigma=3.0, attention=1.0)
+        rating = SimulatedWorker(profile, seed=1).rate(pristine, true_mos=4.9)
+        assert 1.0 <= rating.score <= 5.0
+
+    def test_true_mos_validation(self, pristine):
+        profile = WorkerProfile("w", bias=0.0, noise_sigma=0.1, attention=1.0)
+        with pytest.raises(ValueError):
+            SimulatedWorker(profile).rate(pristine, true_mos=7.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkerProfile("w", bias=0.0, noise_sigma=0.1, attention=1.5)
+
+
+class TestSurveyPlan:
+    def test_every_rendering_gets_requested_ratings(self, series, pristine):
+        plan = build_survey_plan(series, pristine, ratings_per_rendering=4,
+                                 videos_per_survey=3, seed=1)
+        counts = {r.render_id: 0 for r in series}
+        for survey in plan.surveys:
+            for rendering in survey.renderings:
+                counts[rendering.render_id] += 1
+        assert all(count == 4 for count in counts.values())
+
+    def test_surveys_respect_size_limit(self, series, pristine):
+        plan = build_survey_plan(series, pristine, ratings_per_rendering=3,
+                                 videos_per_survey=4, seed=1)
+        assert all(len(s.renderings) <= 4 for s in plan.surveys)
+
+    def test_no_duplicate_rendering_within_survey(self, series, pristine):
+        plan = build_survey_plan(series, pristine, ratings_per_rendering=5,
+                                 videos_per_survey=4, seed=2)
+        for survey in plan.surveys:
+            ids = [r.render_id for r in survey.renderings]
+            assert len(ids) == len(set(ids))
+
+    def test_presentation_order_contains_reference(self, series, pristine):
+        plan = build_survey_plan(series, pristine, ratings_per_rendering=2, seed=1)
+        order = plan.surveys[0].presentation_order(np.random.default_rng(0))
+        assert pristine.render_id in [r.render_id for r in order]
+
+    def test_total_video_seconds_positive(self, series, pristine):
+        plan = build_survey_plan(series, pristine, ratings_per_rendering=2, seed=1)
+        assert plan.total_video_seconds() > 0
+
+
+class TestCostModel:
+    def test_payment_proportional_to_time(self):
+        cost = CostModel(hourly_rate_usd=10.0, overhead_factor=1.0)
+        assert cost.payment_for_watch_time(3600.0) == pytest.approx(10.0)
+        assert cost.payment_for_watch_time(1800.0) == pytest.approx(5.0)
+
+    def test_overhead_increases_cost(self):
+        plain = CostModel(overhead_factor=1.0).payment_for_watch_time(3600)
+        padded = CostModel(overhead_factor=1.5).payment_for_watch_time(3600)
+        assert padded > plain
+
+    def test_cost_per_source_minute(self):
+        cost = CostModel()
+        assert cost.cost_per_source_minute(60.0, 120.0) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(hourly_rate_usd=0.0)
+        with pytest.raises(ValueError):
+            CostModel(overhead_factor=0.9)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign_result(self, oracle, series, pristine):
+        campaign = MTurkCampaign(
+            oracle=oracle,
+            config=CampaignConfig(ratings_per_rendering=8, seed=5),
+        )
+        return campaign.run(series, reference=pristine)
+
+    def test_every_rendering_has_mos(self, campaign_result, series):
+        assert set(campaign_result.mos) == {r.render_id for r in series}
+
+    def test_mos_in_likert_range(self, campaign_result):
+        for value in campaign_result.mos.values():
+            assert 1.0 <= value <= 5.0
+
+    def test_normalized_mos_in_unit_range(self, campaign_result):
+        for value in campaign_result.normalized_mos.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_cost_accounting_positive(self, campaign_result):
+        assert campaign_result.total_paid_usd > 0.0
+        assert campaign_result.total_watch_seconds > 0.0
+
+    def test_rejection_rate_reasonable(self, campaign_result):
+        assert 0.0 <= campaign_result.rejection_rate() < 0.6
+
+    def test_mos_tracks_true_qoe_ranking(self, oracle, campaign_result, series):
+        true_values = [oracle.true_qoe(r) for r in series]
+        mos_values = [campaign_result.mos[r.render_id] for r in series]
+        assert np.corrcoef(true_values, mos_values)[0, 1] > 0.4
+
+    def test_records_mark_reference_excluded(self, campaign_result, pristine):
+        reference_records = [
+            rec for rec in campaign_result.records
+            if rec.rating.render_id == pristine.render_id
+        ]
+        assert all(not rec.accepted for rec in reference_records)
+
+    def test_masters_rejected_less_than_general_pool(self, oracle, series, pristine):
+        masters = MTurkCampaign(
+            oracle=oracle,
+            worker_pool=WorkerPool(master_fraction=1.0, seed=9),
+            config=CampaignConfig(ratings_per_rendering=6, masters_only=True, seed=9),
+        ).run(series, reference=pristine)
+        general = MTurkCampaign(
+            oracle=oracle,
+            worker_pool=WorkerPool(master_fraction=0.0, seed=9),
+            config=CampaignConfig(ratings_per_rendering=6, masters_only=False, seed=9),
+        ).run(series, reference=pristine)
+        assert masters.rejection_rate() <= general.rejection_rate()

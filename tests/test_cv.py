@@ -1,0 +1,56 @@
+"""Tests for the CV highlight baselines (Appendix D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cv.highlights import (
+    AMVMLikeModel,
+    DSNLikeModel,
+    Video2GIFLikeModel,
+    all_highlight_models,
+)
+from repro.qoe.ground_truth import GroundTruthOracle
+from repro.utils.stats import spearman_correlation
+
+
+class TestHighlightModels:
+    @pytest.mark.parametrize("model_cls", [
+        AMVMLikeModel, DSNLikeModel, Video2GIFLikeModel,
+    ])
+    def test_scores_per_chunk_in_unit_range(self, model_cls, small_video):
+        scores = model_cls().chunk_scores(small_video)
+        assert scores.shape == (small_video.num_chunks,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_all_three_models_listed(self):
+        names = {m.name for m in all_highlight_models()}
+        assert names == {"AMVM", "DSN", "Video2GIF"}
+
+    def test_amvm_tracks_motion(self, small_video):
+        scores = AMVMLikeModel().raw_scores(small_video)
+        motion = small_video.feature_matrix()[:, 0]
+        assert np.corrcoef(scores, motion)[0, 1] > 0.8
+
+    def test_video2gif_tracks_information(self, small_video):
+        scores = Video2GIFLikeModel().raw_scores(small_video)
+        information = small_video.feature_matrix()[:, 2]
+        assert np.corrcoef(scores, information)[0, 1] > 0.5
+
+    def test_cv_models_do_not_explain_sensitivity_better_than_oracle(
+        self, library, oracle
+    ):
+        """Appendix D's negative result: highlight scores correlate with true
+        sensitivity substantially worse than the (crowdsourced) estimate."""
+        video = library.source("soccer1")
+        truth = oracle.normalized_sensitivity(video)
+        for model in all_highlight_models():
+            correlation = spearman_correlation(model.chunk_scores(video), truth)
+            assert correlation < 0.85
+
+    def test_models_are_deterministic(self, small_video):
+        model = DSNLikeModel()
+        assert np.allclose(
+            model.chunk_scores(small_video), model.chunk_scores(small_video)
+        )

@@ -1,0 +1,259 @@
+"""Tests for the from-scratch ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.ml.linreg import LinearRegression, RidgeRegression, fit_nonnegative_weights
+from repro.ml.lstm import LSTMCell, LSTMRegressor
+from repro.ml.nn import MLP, AdamOptimizer, relu, sigmoid, softmax
+from repro.ml.rl import ActorCriticAgent, ActorCriticConfig, EpisodeBuffer
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_relation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coefficients, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept == pytest.approx(3.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ValueError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_ridge_shrinks_towards_zero(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 2))
+        y = X @ np.array([5.0, -5.0])
+        loose = RidgeRegression(alpha=1e-6).fit(X, y)
+        tight = RidgeRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coefficients) < np.linalg.norm(loose.coefficients)
+
+    def test_ridge_prediction_accuracy(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 4))
+        y = X @ np.array([1.0, 2.0, 0.0, -1.0]) + 0.01 * rng.normal(size=100)
+        model = RidgeRegression(alpha=0.1).fit(X, y)
+        assert np.mean((model.predict(X) - y) ** 2) < 0.01
+
+    def test_nonnegative_weights_are_nonnegative(self):
+        rng = np.random.default_rng(2)
+        X = np.abs(rng.normal(size=(40, 6)))
+        y = X @ np.array([1.0, 0.0, 2.0, 0.0, 0.5, 0.0])
+        weights = fit_nonnegative_weights(X, y)
+        assert np.all(weights >= 0)
+
+    def test_nonnegative_weights_fit_well(self):
+        rng = np.random.default_rng(3)
+        X = np.abs(rng.normal(size=(60, 4)))
+        true_w = np.array([0.5, 1.5, 0.0, 2.0])
+        y = X @ true_w
+        weights = fit_nonnegative_weights(X, y, ridge_alpha=1e-6)
+        assert np.mean((X @ weights - y) ** 2) < 1e-3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestForest:
+    def _dataset(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-1, 1, size=(n, 3))
+        y = np.where(X[:, 0] > 0, 2.0, -2.0) + 0.5 * X[:, 1]
+        return X, y
+
+    def test_tree_learns_threshold(self):
+        X, y = self._dataset()
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        preds = tree.predict(X)
+        assert np.corrcoef(preds, y)[0, 1] > 0.9
+
+    def test_tree_single_row_prediction(self):
+        X, y = self._dataset()
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.isfinite(tree.predict(X[0]))
+
+    def test_tree_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.full(20, 3.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), 3.0)
+
+    def test_forest_beats_or_matches_single_shallow_tree(self):
+        X, y = self._dataset(seed=1)
+        X_test, y_test = self._dataset(seed=2)
+        tree = DecisionTreeRegressor(max_depth=2, seed=0).fit(X, y)
+        forest = RandomForestRegressor(num_trees=15, max_depth=4, seed=0).fit(X, y)
+        tree_error = np.mean((tree.predict(X_test) - y_test) ** 2)
+        forest_error = np.mean((forest.predict(X_test) - y_test) ** 2)
+        assert forest_error <= tree_error + 1e-6
+
+    def test_forest_predict_before_fit_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().predict(np.zeros((1, 3)))
+
+    def test_forest_deterministic_given_seed(self):
+        X, y = self._dataset()
+        a = RandomForestRegressor(num_trees=5, seed=3).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(num_trees=5, seed=3).fit(X, y).predict(X[:10])
+        assert np.allclose(a, b)
+
+
+class TestNN:
+    def test_relu_and_softmax(self):
+        assert np.all(relu(np.array([-1.0, 2.0])) == np.array([0.0, 2.0]))
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.argmax(probs) == 2
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(probs).all()
+
+    def test_sigmoid_bounds(self):
+        values = sigmoid(np.array([-100.0, 0.0, 100.0]))
+        assert values[0] < 1e-6 and values[1] == pytest.approx(0.5) and values[2] > 1 - 1e-6
+
+    def test_mlp_forward_shapes(self):
+        mlp = MLP(4, (8,), 3, seed=0)
+        out = mlp.predict(np.zeros(4))
+        assert out.shape == (3,)
+        batch_out = mlp.predict(np.zeros((5, 4)))
+        assert batch_out.shape == (5, 3)
+
+    def test_mlp_gradient_matches_numerical(self):
+        mlp = MLP(3, (5,), 2, seed=1)
+        x = np.array([0.3, -0.2, 0.7])
+        target = np.array([1.0, -1.0])
+
+        def loss_fn():
+            out = mlp.predict(x)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out, cache = mlp.forward(x)
+        grads = mlp.backward(cache, (out - target))
+        epsilon = 1e-6
+        for name in ("W0", "b1"):
+            param = mlp.parameters[name]
+            index = (0,) if param.ndim == 1 else (0, 0)
+            original = param[index]
+            param[index] = original + epsilon
+            plus = loss_fn()
+            param[index] = original - epsilon
+            minus = loss_fn()
+            param[index] = original
+            numerical = (plus - minus) / (2 * epsilon)
+            assert grads[name][index] == pytest.approx(numerical, rel=1e-4, abs=1e-6)
+
+    def test_mlp_trains_on_regression(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, 2))
+        y = (X[:, :1] * 2 - X[:, 1:]) * 0.5
+        mlp = MLP(2, (16,), 1, seed=0)
+        optimizer = AdamOptimizer(learning_rate=5e-3)
+        first_loss = None
+        for _ in range(300):
+            out, cache = mlp.forward(X)
+            error = out - y
+            loss = float(np.mean(error ** 2))
+            if first_loss is None:
+                first_loss = loss
+            grads = mlp.backward(cache, 2 * error / X.shape[0])
+            optimizer.update(mlp.parameters, grads)
+        assert loss < first_loss * 0.2
+
+    def test_copy_parameters(self):
+        a = MLP(3, (4,), 2, seed=0)
+        b = MLP(3, (4,), 2, seed=1)
+        b.copy_parameters_from(a)
+        assert np.allclose(a.predict(np.ones(3)), b.predict(np.ones(3)))
+
+
+class TestLSTM:
+    def test_cell_output_shapes(self):
+        cell = LSTMCell(3, 8, seed=0)
+        h, c, cache = cell.forward(np.zeros(3), np.zeros(8), np.zeros(8))
+        assert h.shape == (8,) and c.shape == (8,)
+        assert "concat" in cache
+
+    def test_regressor_learns_sum_signal(self):
+        rng = np.random.default_rng(0)
+        sequences = [rng.uniform(0, 1, size=(6, 2)) for _ in range(40)]
+        targets = np.array([float(seq[:, 0].mean()) for seq in sequences])
+        model = LSTMRegressor(input_dim=2, hidden_dim=8, learning_rate=1e-2, seed=0)
+        before = np.mean((model.predict(sequences) - targets) ** 2)
+        model.fit(sequences, targets, epochs=30)
+        after = np.mean((model.predict(sequences) - targets) ** 2)
+        assert after < before * 0.5
+
+    def test_regressor_validates_feature_dim(self):
+        model = LSTMRegressor(input_dim=3, hidden_dim=4)
+        with pytest.raises(ValueError):
+            model.predict_sequence(np.zeros((5, 2)))
+
+    def test_fit_validates_alignment(self):
+        model = LSTMRegressor(input_dim=2)
+        with pytest.raises(ValueError):
+            model.fit([np.zeros((3, 2))], np.array([1.0, 2.0]))
+
+
+class TestActorCritic:
+    def _config(self, **kwargs):
+        defaults = dict(state_dim=4, num_actions=3, hidden_dims=(16,), seed=0)
+        defaults.update(kwargs)
+        return ActorCriticConfig(**defaults)
+
+    def test_action_probabilities_sum_to_one(self):
+        agent = ActorCriticAgent(self._config())
+        probs = agent.action_probabilities(np.zeros(4))
+        assert probs.shape == (3,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_greedy_action_is_argmax(self):
+        agent = ActorCriticAgent(self._config())
+        state = np.ones(4)
+        probs = agent.action_probabilities(state)
+        assert agent.select_action(state, greedy=True) == int(np.argmax(probs))
+
+    def test_episode_buffer_returns(self):
+        episode = EpisodeBuffer()
+        for reward in (1.0, 1.0, 1.0):
+            episode.add(np.zeros(2), 0, reward)
+        returns = episode.discounted_returns(0.5)
+        assert returns[-1] == pytest.approx(1.0)
+        assert returns[0] == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_training_on_empty_episode_raises(self):
+        agent = ActorCriticAgent(self._config())
+        with pytest.raises(ValueError):
+            agent.train_on_episode(EpisodeBuffer())
+
+    def test_policy_gradient_reinforces_high_advantage_action(self):
+        # Training repeatedly on (state, action=2, high reward) episodes must
+        # increase the policy's probability of action 2 in that state.
+        config = self._config(actor_learning_rate=2e-2, entropy_weight=0.0)
+        agent = ActorCriticAgent(config)
+        state = np.ones(4)
+        before = agent.action_probabilities(state)[2]
+        for _ in range(50):
+            episode = EpisodeBuffer()
+            episode.add(state, 2, 1.0)
+            episode.add(state, 0, 0.0)
+            agent.train_on_episode(episode)
+        after = agent.action_probabilities(state)[2]
+        assert after > before
+
+    def test_training_statistics_keys(self):
+        agent = ActorCriticAgent(self._config())
+        episode = EpisodeBuffer()
+        episode.add(np.zeros(4), 1, 0.5)
+        episode.add(np.ones(4), 0, 0.2)
+        stats = agent.train_on_episode(episode)
+        assert set(stats) == {"mean_return", "policy_loss", "value_loss", "entropy"}

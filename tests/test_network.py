@@ -1,0 +1,152 @@
+"""Tests for throughput traces, generators and the trace bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.bank import TraceBank
+from repro.network.synthetic import (
+    FCCLikeGenerator,
+    HSDPALikeGenerator,
+    MarkovTraceGenerator,
+    RandomWalkTraceGenerator,
+)
+from repro.network.trace import ThroughputTrace
+
+
+class TestThroughputTrace:
+    def test_constant_trace_properties(self, constant_trace):
+        assert constant_trace.mean_mbps == pytest.approx(2.0)
+        assert constant_trace.std_mbps == pytest.approx(0.0)
+        assert constant_trace.bandwidth_at(123.4) == 2.0
+
+    def test_wraps_around(self, constant_trace):
+        assert constant_trace.bandwidth_at(10 * constant_trace.duration_s + 1) == 2.0
+
+    def test_download_time_constant_rate(self, constant_trace):
+        # 1 MB at 2 Mbps = 4 seconds
+        assert constant_trace.download_time_s(1_000_000, 0.0) == pytest.approx(4.0)
+
+    def test_download_time_spans_rate_change(self):
+        trace = ThroughputTrace.from_samples([(0.0, 1.0), (4.0, 4.0)], name="step")
+        # 1 Mbit in the first second, then remaining 3 Mbit... 8 Mbit total:
+        # 4 s at 1 Mbps = 4 Mbit, then 1 s at 4 Mbps = 4 Mbit -> 5 s.
+        assert trace.download_time_s(1_000_000, 0.0) == pytest.approx(5.0)
+
+    def test_download_time_requires_positive_size(self, constant_trace):
+        with pytest.raises(ValueError):
+            constant_trace.download_time_s(0.0, 0.0)
+
+    def test_scaled(self, constant_trace):
+        assert constant_trace.scaled(0.5).mean_mbps == pytest.approx(1.0)
+
+    def test_scaled_rejects_nonpositive(self, constant_trace):
+        with pytest.raises(ValueError):
+            constant_trace.scaled(0.0)
+
+    def test_with_added_noise_keeps_positive(self, constant_trace):
+        noisy = constant_trace.with_added_noise(5.0, seed=1)
+        assert np.all(noisy.bandwidths_mbps > 0)
+        assert noisy.std_mbps > constant_trace.std_mbps
+
+    def test_noise_zero_is_identity(self, constant_trace):
+        same = constant_trace.with_added_noise(0.0, seed=1)
+        assert np.allclose(same.bandwidths_mbps, constant_trace.bandwidths_mbps)
+
+    def test_clipped_to_range(self):
+        trace = ThroughputTrace.from_samples([(0, 0.1), (1, 10.0)])
+        clipped = trace.clipped_to_range(0.2, 6.0)
+        assert clipped.bandwidths_mbps.min() >= 0.2
+        assert clipped.bandwidths_mbps.max() <= 6.0
+
+    def test_truncated(self, constant_trace):
+        short = constant_trace.truncated(10.0)
+        assert short.timestamps_s.max() < 10.0
+
+    def test_serialization_roundtrip(self, tmp_path, constant_trace):
+        path = tmp_path / "trace.json"
+        constant_trace.save(path)
+        loaded = ThroughputTrace.load(path)
+        assert loaded.name == constant_trace.name
+        assert np.allclose(loaded.bandwidths_mbps, constant_trace.bandwidths_mbps)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace.from_samples([(0.0, -1.0)])
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace.from_samples([(1.0, 1.0)])
+
+    @given(st.floats(0.3, 5.0), st.floats(10_000, 5_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_download_time_matches_rate_formula(self, rate, size):
+        trace = ThroughputTrace.constant(rate, duration_s=10_000.0)
+        expected = size * 8 / (rate * 1e6)
+        assert trace.download_time_s(size, 0.0) == pytest.approx(expected, rel=1e-6)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator_cls", [
+        MarkovTraceGenerator, HSDPALikeGenerator, FCCLikeGenerator,
+        RandomWalkTraceGenerator,
+    ])
+    def test_generates_valid_trace(self, generator_cls):
+        trace = generator_cls(seed=3).generate("t", duration_s=300.0)
+        assert trace.duration_s >= 299.0
+        assert np.all(trace.bandwidths_mbps > 0)
+
+    def test_generation_is_deterministic(self):
+        a = HSDPALikeGenerator(seed=3).generate("t", 200.0)
+        b = HSDPALikeGenerator(seed=3).generate("t", 200.0)
+        assert np.allclose(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_different_names_differ(self):
+        a = HSDPALikeGenerator(seed=3).generate("t1", 200.0)
+        b = HSDPALikeGenerator(seed=3).generate("t2", 200.0)
+        assert not np.allclose(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_fcc_is_faster_than_hsdpa_on_average(self):
+        fcc = FCCLikeGenerator(seed=3).generate_many(5, 600.0)
+        hsdpa = HSDPALikeGenerator(seed=3).generate_many(5, 600.0)
+        assert np.mean([t.mean_mbps for t in fcc]) > np.mean(
+            [t.mean_mbps for t in hsdpa]
+        )
+
+    def test_bandwidth_range_matches_paper(self):
+        traces = HSDPALikeGenerator(seed=3).generate_many(4, 600.0) + \
+            FCCLikeGenerator(seed=3).generate_many(4, 600.0)
+        for trace in traces:
+            assert 0.2 <= trace.mean_mbps <= 6.0
+
+    def test_generate_many_count(self):
+        traces = FCCLikeGenerator(seed=1).generate_many(3, 100.0, prefix="x")
+        assert [t.name for t in traces] == ["x-00", "x-01", "x-02"]
+
+
+class TestTraceBank:
+    def test_bank_size(self):
+        bank = TraceBank(num_traces=6, duration_s=300.0)
+        assert len(bank.traces()) == 6
+
+    def test_bank_sorted_by_throughput(self):
+        bank = TraceBank(num_traces=8, duration_s=300.0)
+        means = bank.mean_throughputs_mbps()
+        assert means == sorted(means)
+
+    def test_bank_is_cached(self):
+        bank = TraceBank(num_traces=4, duration_s=300.0)
+        assert bank.traces()[0].name == bank.traces()[0].name
+
+    def test_trace_index_bounds(self):
+        bank = TraceBank(num_traces=3, duration_s=300.0)
+        with pytest.raises(ValueError):
+            bank.trace(3)
+
+    def test_names_unique(self):
+        bank = TraceBank(num_traces=10, duration_s=300.0)
+        names = bank.names()
+        assert len(set(names)) == len(names)

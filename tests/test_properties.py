@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on core invariants across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.base import Decision
+from repro.core.weights import SensitivityProfile
+from repro.network.trace import ThroughputTrace
+from repro.player.simulator import simulate_session
+from repro.qoe.ground_truth import GroundTruthOracle
+from repro.qoe.ksqi import KSQIModel
+from repro.video.chunk import DEFAULT_LADDER
+from repro.video.encoder import SyntheticEncoder
+from repro.video.rendering import QualityIncident, inject_incident, render_pristine
+from repro.video.video import SourceVideo
+
+_ORACLE = GroundTruthOracle()
+_KSQI = KSQIModel()
+
+
+@st.composite
+def encoded_videos(draw):
+    """Small synthetic encoded videos across genres and lengths."""
+    genre = draw(st.sampled_from(["sports", "gaming", "nature", "animation"]))
+    num_chunks = draw(st.integers(4, 14))
+    seed = draw(st.integers(0, 50))
+    video = SourceVideo.synthesize(
+        f"prop-{genre}-{seed}", genre,
+        duration_s=num_chunks * 4.0, chunk_duration_s=4.0, seed=seed,
+    )
+    return SyntheticEncoder(seed=seed + 1).encode(video, DEFAULT_LADDER)
+
+
+@st.composite
+def renderings(draw):
+    """Arbitrary renderings: random levels, a few stalls."""
+    encoded = draw(encoded_videos())
+    n = encoded.num_chunks
+    levels = draw(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n)
+    )
+    stall_chunk = draw(st.integers(0, n - 1))
+    stall_s = draw(st.floats(0.0, 6.0))
+    rendered = render_pristine(encoded)
+    from dataclasses import replace
+    stalls = np.zeros(n)
+    stalls[stall_chunk] = stall_s
+    return replace(rendered, levels=np.array(levels), stalls_s=stalls)
+
+
+class TestOracleProperties:
+    @given(renderings())
+    @settings(max_examples=25, deadline=None)
+    def test_true_qoe_in_unit_interval(self, rendered):
+        assert 0.0 <= _ORACLE.true_qoe(rendered) <= 1.0
+
+    @given(renderings(), st.floats(0.5, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_adding_a_stall_never_raises_qoe(self, rendered, extra_stall):
+        chunk = rendered.num_chunks // 2
+        degraded = inject_incident(
+            rendered, QualityIncident.rebuffering(chunk, extra_stall)
+        )
+        assert _ORACLE.true_qoe(degraded) <= _ORACLE.true_qoe(rendered) + 1e-9
+
+    @given(encoded_videos())
+    @settings(max_examples=20, deadline=None)
+    def test_pristine_is_best_rendering_of_its_video(self, encoded):
+        pristine = render_pristine(encoded)
+        degraded = inject_incident(pristine, QualityIncident.rebuffering(1, 2.0))
+        dropped = inject_incident(pristine, QualityIncident.bitrate_drop(2, 0))
+        best = _ORACLE.true_qoe(pristine)
+        assert best >= _ORACLE.true_qoe(degraded)
+        assert best >= _ORACLE.true_qoe(dropped)
+
+    @given(encoded_videos())
+    @settings(max_examples=20, deadline=None)
+    def test_sensitivity_normalisation(self, encoded):
+        sensitivity = _ORACLE.normalized_sensitivity(encoded.source)
+        assert np.all(sensitivity > 0)
+        assert np.mean(sensitivity) == pytest.approx(1.0)
+
+
+class TestKSQIProperties:
+    @given(renderings())
+    @settings(max_examples=25, deadline=None)
+    def test_score_in_unit_interval(self, rendered):
+        assert 0.0 <= _KSQI.score(rendered) <= 1.0
+
+    @given(renderings())
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_weighting_matches_plain_score(self, rendered):
+        weights = np.ones(rendered.num_chunks)
+        assert _KSQI.weighted_score(rendered, weights) == pytest.approx(
+            _KSQI.score(rendered)
+        )
+
+
+class TestProfileProperties:
+    @given(st.lists(st.floats(0.1, 5.0), min_size=2, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_normalised_profile_mean_one(self, weights):
+        profile = SensitivityProfile("v", np.array(weights)).normalized()
+        assert np.mean(profile.weights) == pytest.approx(1.0)
+        assert np.all(profile.weights > 0)
+
+    @given(st.lists(st.floats(0.1, 5.0), min_size=2, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_serialisation_roundtrip(self, weights):
+        profile = SensitivityProfile("v", np.array(weights))
+        restored = SensitivityProfile.from_dict(profile.to_dict())
+        assert np.allclose(restored.weights, profile.weights)
+
+
+class TestSessionProperties:
+    @given(
+        encoded_videos(),
+        st.floats(0.4, 8.0),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_session_conserves_chunks_and_time(self, encoded, rate_mbps, level):
+        from repro.abr.base import ABRAlgorithm
+
+        class Fixed(ABRAlgorithm):
+            name = "fixed"
+
+            def decide(self, observation):
+                return Decision(level=level)
+
+        trace = ThroughputTrace.constant(rate_mbps, duration_s=4000.0)
+        result = simulate_session(Fixed(), encoded, trace)
+        rendered = result.rendered
+        # Every chunk was played at the requested level.
+        assert np.all(rendered.levels == level)
+        # Wall-clock time is at least playback plus stalls plus startup.
+        minimum_duration = (
+            encoded.num_chunks * encoded.chunk_duration_s
+            + rendered.total_stall_s()
+            + rendered.startup_delay_s
+        )
+        assert result.session_duration_s >= minimum_duration - 1e-6
+        # Bytes downloaded match the rendered levels exactly.
+        assert result.total_bytes == pytest.approx(rendered.total_bytes())
+
+    @given(encoded_videos(), st.floats(0.3, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_lowest_level_never_stalls_when_rate_exceeds_lowest_rung(
+        self, encoded, rate_mbps
+    ):
+        from repro.abr.base import ABRAlgorithm
+
+        class Lowest(ABRAlgorithm):
+            name = "lowest"
+
+            def decide(self, observation):
+                return Decision(level=0)
+
+        trace = ThroughputTrace.constant(rate_mbps, duration_s=4000.0)
+        result = simulate_session(Lowest(), encoded, trace)
+        max_chunk_rate_mbps = max(
+            encoded.chunk_size_bytes(i, 0) * 8 / 1e6 / encoded.chunk_duration_s
+            for i in range(encoded.num_chunks)
+        )
+        if rate_mbps >= max_chunk_rate_mbps * 1.05:
+            assert result.rendered.total_stall_s() == pytest.approx(0.0, abs=1e-6)

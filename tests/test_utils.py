@@ -1,0 +1,176 @@
+"""Unit and property tests for repro.utils."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rand import derive_seed, rng_from_seed, spawn_rng
+from repro.utils.stats import (
+    cdf_points,
+    discordant_pair_fraction,
+    harmonic_mean,
+    mean_relative_error,
+    normalize_to_unit,
+    pearson_correlation,
+    percentile,
+    relative_error,
+    spearman_correlation,
+)
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRand:
+    def test_rng_from_seed_is_deterministic(self):
+        assert rng_from_seed(3).random() == rng_from_seed(3).random()
+
+    def test_rng_from_seed_none_is_fixed_default(self):
+        assert rng_from_seed(None).random() == rng_from_seed(None).random()
+
+    def test_rng_from_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_derive_seed_depends_on_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(7, "video", 3) == derive_seed(7, "video", 3)
+
+    def test_spawn_rng_independent_streams(self):
+        a = spawn_rng(1, "x").random()
+        b = spawn_rng(1, "y").random()
+        assert a != b
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            require_non_negative(-1e-9, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, 0, 1, "x") == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(2.0, 0, 1, "x")
+
+    def test_require_probability(self):
+        assert require_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            require_probability(1.1, "p")
+
+    def test_require_type(self):
+        assert require_type(3, int, "x") == 3
+        with pytest.raises(TypeError):
+            require_type("3", int, "x")
+
+
+class TestCorrelations:
+    def test_pearson_perfect(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_anticorrelated(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_spearman_monotone_nonlinear(self):
+        x = [1, 2, 3, 4, 5]
+        y = [1, 8, 27, 64, 125]
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        assert -1.0 <= spearman_correlation([1, 2, 2, 3], [4, 4, 5, 6]) <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pearson_bounded(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        value = pearson_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestDiscordantPairs:
+    def test_identical_ordering_has_no_discordant_pairs(self):
+        assert discordant_pair_fraction([1, 2, 3], [10, 20, 30]) == 0.0
+
+    def test_fully_reversed_ordering(self):
+        assert discordant_pair_fraction([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_predicted_tie_counts_as_discordant(self):
+        assert discordant_pair_fraction([1, 2], [5, 5]) == 1.0
+
+    def test_true_ties_are_skipped(self):
+        assert discordant_pair_fraction([1, 1], [1, 2]) == 0.0
+
+
+class TestErrorsAndMeans:
+    def test_relative_error_basic(self):
+        assert relative_error(1.2, 1.0) == pytest.approx(0.2)
+
+    def test_relative_error_protects_small_denominator(self):
+        assert np.isfinite(relative_error(1.0, 0.0))
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([1.1, 0.9], [1.0, 1.0]) == pytest.approx(0.1)
+
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1.0, 1.0, 4.0]) == pytest.approx(3 / 2.25)
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 50), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_harmonic_mean_below_arithmetic(self, values):
+        assert harmonic_mean(values) <= np.mean(values) + 1e-9
+
+
+class TestNormalizeAndCdf:
+    def test_normalize_to_unit_range(self):
+        out = normalize_to_unit([3, 6, 9])
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_normalize_constant_maps_to_half(self):
+        assert np.allclose(normalize_to_unit([5, 5, 5]), 0.5)
+
+    def test_cdf_points_monotone(self):
+        xs, cdf = cdf_points([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert list(cdf) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_percentile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 150)

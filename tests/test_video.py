@@ -1,0 +1,261 @@
+"""Tests for the video substrate: ladder, content, encoder, library, renderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.chunk import DEFAULT_LADDER, EncodingLadder
+from repro.video.content import ContentGenerator, GENRES
+from repro.video.encoder import SyntheticEncoder
+from repro.video.library import TEST_VIDEO_SPECS, VideoLibrary
+from repro.video.rendering import (
+    QualityIncident,
+    inject_incident,
+    make_video_series,
+    render_pristine,
+)
+from repro.video.video import SourceVideo
+
+
+class TestEncodingLadder:
+    def test_default_ladder_matches_paper(self):
+        assert DEFAULT_LADDER.bitrates_kbps == (300.0, 750.0, 1200.0, 1850.0, 2850.0)
+        assert DEFAULT_LADDER.num_levels == 5
+
+    def test_levels_ordering(self):
+        assert DEFAULT_LADDER.lowest_level == 0
+        assert DEFAULT_LADDER.highest_level == 4
+
+    def test_bitrate_of(self):
+        assert DEFAULT_LADDER.bitrate_of(2) == 1200.0
+
+    def test_bitrate_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.bitrate_of(5)
+
+    def test_label_of(self):
+        assert DEFAULT_LADDER.label_of(4) == "1080p"
+
+    def test_level_for_bitrate_picks_highest_feasible(self):
+        assert DEFAULT_LADDER.level_for_bitrate(2000) == 3
+
+    def test_level_for_bitrate_below_lowest(self):
+        assert DEFAULT_LADDER.level_for_bitrate(100) == 0
+
+    def test_chunk_size_bits(self):
+        assert DEFAULT_LADDER.chunk_size_bits(0, 4.0) == pytest.approx(300_000 * 4)
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            EncodingLadder.from_bitrates([100, 100, 300])
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            EncodingLadder.from_bitrates([500])
+
+    @given(st.integers(0, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_level_roundtrip(self, level):
+        rate = DEFAULT_LADDER.bitrate_of(level)
+        assert DEFAULT_LADDER.level_for_bitrate(rate) == level
+
+
+class TestContentGenerator:
+    @pytest.mark.parametrize("genre", GENRES)
+    def test_generates_requested_length(self, genre):
+        descriptors = ContentGenerator(seed=1).generate("v", genre, 30)
+        assert len(descriptors) == 30
+
+    @pytest.mark.parametrize("genre", GENRES)
+    def test_fields_in_unit_range(self, genre):
+        for d in ContentGenerator(seed=1).generate("v", genre, 40):
+            for value in (d.motion, d.complexity, d.information, d.key_moment):
+                assert 0.0 <= value <= 1.0
+
+    def test_deterministic_per_name(self):
+        a = ContentGenerator(seed=1).generate("v", "sports", 20)
+        b = ContentGenerator(seed=1).generate("v", "sports", 20)
+        assert [d.key_moment for d in a] == [d.key_moment for d in b]
+
+    def test_different_names_differ(self):
+        a = ContentGenerator(seed=1).generate("v1", "sports", 20)
+        b = ContentGenerator(seed=1).generate("v2", "sports", 20)
+        assert [d.key_moment for d in a] != [d.key_moment for d in b]
+
+    def test_sports_has_key_moments(self):
+        descriptors = ContentGenerator(seed=1).generate("match", "sports", 50)
+        key = np.array([d.key_moment for d in descriptors])
+        assert key.max() > key.mean() + 0.25
+
+    def test_nature_is_calmer_than_sports(self):
+        gen = ContentGenerator(seed=1)
+        sports = np.mean([d.key_moment for d in gen.generate("a", "sports", 50)])
+        nature = np.mean([d.key_moment for d in gen.generate("a", "nature", 50)])
+        assert nature < sports
+
+    def test_unknown_genre_rejected(self):
+        with pytest.raises(ValueError):
+            ContentGenerator().generate("v", "opera", 10)
+
+
+class TestSourceVideo:
+    def test_synthesize_basic(self, small_video):
+        assert small_video.num_chunks == 12
+        assert small_video.duration_s == pytest.approx(48.0)
+
+    def test_descriptor_access(self, small_video):
+        assert small_video.descriptor(0).motion >= 0.0
+        with pytest.raises(ValueError):
+            small_video.descriptor(99)
+
+    def test_feature_matrix_shape(self, small_video):
+        assert small_video.feature_matrix().shape == (12, 3)
+
+    def test_key_moment_curve_matches_descriptors(self, small_video):
+        curve = small_video.key_moment_curve()
+        assert curve[3] == small_video.descriptor(3).key_moment
+
+    def test_chunk_start_time(self, small_video):
+        assert small_video.chunk_start_time(2) == 8.0
+
+    def test_rejects_bad_genre(self):
+        with pytest.raises(ValueError):
+            SourceVideo.synthesize("x", "drama", duration_s=40)
+
+
+class TestSyntheticEncoder:
+    def test_sizes_increase_with_level(self, small_encoded):
+        for chunk in small_encoded.chunks:
+            assert np.all(np.diff(chunk.sizes_bytes) > 0)
+
+    def test_quality_non_decreasing_with_level(self, small_encoded):
+        for chunk in small_encoded.chunks:
+            assert np.all(np.diff(chunk.quality) >= 0)
+
+    def test_quality_bounded(self, small_encoded):
+        quality = small_encoded.quality_matrix()
+        assert quality.min() >= 1.0 and quality.max() <= 100.0
+
+    def test_sizes_near_nominal(self, small_encoded):
+        nominal = 2850_000 * 4 / 8  # bytes for the top rung
+        top_sizes = small_encoded.sizes_matrix()[:, -1]
+        assert np.all(top_sizes > 0.5 * nominal)
+        assert np.all(top_sizes < 2.0 * nominal)
+
+    def test_encoding_is_deterministic(self, small_video):
+        a = SyntheticEncoder(seed=5).encode(small_video)
+        b = SyntheticEncoder(seed=5).encode(small_video)
+        assert np.allclose(a.sizes_matrix(), b.sizes_matrix())
+
+    def test_matrix_shapes(self, small_encoded):
+        assert small_encoded.sizes_matrix().shape == (12, 5)
+        assert small_encoded.quality_matrix().shape == (12, 5)
+
+    def test_chunk_accessors(self, small_encoded):
+        assert small_encoded.chunk_size_bytes(0, 0) < small_encoded.chunk_size_bytes(0, 4)
+        assert small_encoded.chunk_quality(0, 0) <= small_encoded.chunk_quality(0, 4)
+
+
+class TestVideoLibrary:
+    def test_has_sixteen_videos(self, library):
+        assert len(library.video_ids()) == 16
+        assert len(TEST_VIDEO_SPECS) == 16
+
+    def test_covers_four_genres(self, library):
+        genres = {library.spec(v).genre for v in library.video_ids()}
+        assert genres == {"sports", "gaming", "nature", "animation"}
+
+    def test_spec_lookup(self, library):
+        spec = library.spec("soccer1")
+        assert spec.name == "Soccer1"
+        assert spec.source_dataset == "LIVE-NFLX-II"
+
+    def test_unknown_video_raises(self, library):
+        with pytest.raises(KeyError):
+            library.spec("nonexistent")
+
+    def test_source_caching(self, library):
+        assert library.source("soccer1") is library.source("soccer1")
+
+    def test_encoded_matches_source_chunks(self, library):
+        encoded = library.encoded("mountain")
+        assert encoded.num_chunks == library.source("mountain").num_chunks
+
+    def test_durations_match_table1(self, library):
+        assert library.source("bigbuckbunny").duration_s == pytest.approx(596, abs=4)
+        assert library.source("mountain").duration_s == pytest.approx(84, abs=4)
+
+    def test_by_genre(self, library):
+        sports = library.by_genre("sports")
+        assert len(sports) == 7
+
+    def test_table1_rows(self, library):
+        rows = library.table1_rows()
+        assert len(rows) == 16
+        assert rows[1]["name"] == "Soccer1"
+        assert rows[1]["length"] == "3:20"
+
+
+class TestRenderings:
+    def test_pristine_is_top_rate_no_stalls(self, pristine):
+        assert np.all(pristine.levels == 4)
+        assert pristine.total_stall_s() == 0.0
+        assert pristine.incident_summary() == "pristine"
+
+    def test_inject_rebuffering(self, pristine):
+        rendered = inject_incident(pristine, QualityIncident.rebuffering(3, 2.0))
+        assert rendered.stalls_s[3] == 2.0
+        assert rendered.total_stall_s() == 2.0
+        # the original is untouched (immutability)
+        assert pristine.total_stall_s() == 0.0
+
+    def test_inject_bitrate_drop(self, pristine):
+        rendered = inject_incident(pristine, QualityIncident.bitrate_drop(2, 0))
+        assert rendered.levels[2] == 0
+        assert rendered.levels[1] == 4
+
+    def test_bitrate_drop_duration(self, pristine):
+        incident = QualityIncident.bitrate_drop(2, 1, duration_chunks=3)
+        rendered = inject_incident(pristine, incident)
+        assert list(rendered.levels[2:5]) == [1, 1, 1]
+
+    def test_incident_beyond_video_rejected(self, pristine):
+        with pytest.raises(ValueError):
+            inject_incident(pristine, QualityIncident.rebuffering(99, 1.0))
+
+    def test_rebuffering_requires_positive_stall(self):
+        with pytest.raises(ValueError):
+            QualityIncident.rebuffering(0, 0.0)
+
+    def test_make_video_series_one_per_chunk(self, small_encoded):
+        series = make_video_series(small_encoded, QualityIncident.rebuffering(0, 1.0))
+        assert len(series) == small_encoded.num_chunks
+        for index, rendered in enumerate(series):
+            assert rendered.stalls_s[index] == 1.0
+
+    def test_series_with_selected_positions(self, small_encoded):
+        series = make_video_series(
+            small_encoded, QualityIncident.rebuffering(0, 1.0), chunk_indices=[1, 5]
+        )
+        assert len(series) == 2
+
+    def test_switch_counting(self, small_encoded):
+        levels = np.array([4, 4, 2, 2, 4, 4, 4, 4, 4, 4, 4, 4])
+        rendered = render_pristine(small_encoded)
+        from dataclasses import replace
+        rendered = replace(rendered, levels=levels)
+        assert rendered.num_switches() == 2
+        mags = rendered.switch_magnitudes_kbps()
+        assert mags[0] == 0.0
+        assert mags[2] == pytest.approx(2850 - 1200)
+
+    def test_rebuffering_ratio(self, pristine):
+        rendered = inject_incident(pristine, QualityIncident.rebuffering(0, 4.8))
+        assert rendered.rebuffering_ratio() == pytest.approx(4.8 / 48.0)
+
+    def test_average_bitrate_and_bytes(self, pristine):
+        assert pristine.average_bitrate_kbps() == pytest.approx(2850.0)
+        assert pristine.total_bytes() > 0
