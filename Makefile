@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-fast bench
+
+## Tier-1 verification: the full unit + benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only, skipping process-pool-backed tests.
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+## Perf harness: measures the engine and writes BENCH_engine.json.
+bench:
+	$(PYTHON) -m pytest benchmarks/test_perf_engine.py -v -s

@@ -13,9 +13,7 @@ import pytest
 
 from repro.experiments.common import ExperimentContext, ExperimentScale
 
-
-def pytest_configure(config):
-    config.addinivalue_line("markers", "benchmark: paper-reproduction benchmark")
+# The ``benchmark`` and ``slow`` markers are registered in pytest.ini.
 
 
 @pytest.fixture(scope="session")

@@ -18,8 +18,9 @@ import numpy as np
 from repro.abr import BufferBasedABR, FuguABR
 from repro.core import SenseiFuguABR, SenseiProfiler
 from repro.core.scheduler import SchedulerConfig
+from repro.engine import BatchRunner, WorkOrder
 from repro.network import TraceBank
-from repro.player import SenseiManifest, manifest_to_xml, simulate_session
+from repro.player import SenseiManifest, manifest_to_xml
 from repro.qoe import GroundTruthOracle
 from repro.video import VideoLibrary
 
@@ -58,17 +59,19 @@ def main() -> None:
     print(f"\nStreaming over trace '{trace.name}' "
           f"(mean {trace.mean_mbps:.2f} Mbps)\n")
     print(f"{'ABR':14s} {'true QoE':>9s} {'bitrate':>9s} {'stalls':>7s} {'switches':>9s}")
-    for abr, use_weights in (
-        (BufferBasedABR(), False),
-        (FuguABR(), False),
-        (SenseiFuguABR(), True),
-    ):
-        result = simulate_session(
-            abr, encoded, trace,
-            chunk_weights=weights if use_weights else None,
+    orders = [
+        WorkOrder(abr=abr, encoded=encoded, trace=trace,
+                  chunk_weights=weights if use_weights else None)
+        for abr, use_weights in (
+            (BufferBasedABR(), False),
+            (FuguABR(), False),
+            (SenseiFuguABR(), True),
         )
+    ]
+    # Three short sessions: the serial backend beats pool startup here.
+    for order, result in zip(orders, BatchRunner().run_orders(orders)):
         qoe = oracle.true_qoe(result.rendered)
-        print(f"{abr.name:14s} {qoe:9.3f} "
+        print(f"{order.abr.name:14s} {qoe:9.3f} "
               f"{result.average_bitrate_kbps:7.0f}kb {result.total_stall_s:6.1f}s "
               f"{result.rendered.num_switches():9d}")
 

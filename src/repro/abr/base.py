@@ -150,7 +150,7 @@ class ABRAlgorithm(ABC):
     @staticmethod
     def clamp_level(level: int, ladder: EncodingLadder) -> int:
         """Clamp a level index into the ladder's valid range."""
-        return int(np.clip(level, 0, ladder.num_levels - 1))
+        return min(max(int(level), 0), ladder.num_levels - 1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -5,13 +5,24 @@ horizon, simulate the buffer evolution under a throughput estimate, score
 each candidate with a per-chunk quality model, and commit only the first
 step.  SENSEI's variants use the same machinery but (a) weight each chunk's
 quality by its sensitivity and (b) consider scheduling a proactive stall
-before the next chunk.  The evaluation is vectorised over candidates so that
-trace-scale experiments stay fast.
+before the next chunk.
+
+Two engine-level optimisations keep trace-scale experiments fast:
+
+* the candidate tree depends only on ``(num_levels, horizon, max_step,
+  start_level)`` — the same handful of trees is rebuilt at every chunk of
+  every session — so :func:`enumerate_level_sequences` memoises them;
+* :func:`evaluate_candidates` scores the full (stall option x throughput
+  scenario x candidate) cross product as one 3-D tensor instead of looping
+  over stalls and scenarios in Python.  The seed's loop implementation is
+  retained behind ``vectorized=False`` as the reference the vectorised path
+  is tested against and the baseline the perf harness measures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product
 from typing import List, Optional, Sequence, Tuple
 
@@ -22,23 +33,17 @@ from repro.qoe.ksqi import KSQIModel
 from repro.utils.validation import require
 
 
-def enumerate_level_sequences(num_levels: int, horizon: int,
-                              max_step: Optional[int] = None,
-                              start_level: Optional[int] = None) -> np.ndarray:
-    """All candidate level sequences of length ``horizon``.
-
-    ``max_step`` optionally restricts consecutive levels to differ by at most
-    that many rungs (prunes the search space for long horizons);
-    ``start_level`` applies the same restriction to the first chunk relative
-    to the previously played level.
-    """
-    require(num_levels >= 1, "num_levels must be >= 1")
-    require(horizon >= 1, "horizon must be >= 1")
+def _build_level_sequences(
+    num_levels: int,
+    horizon: int,
+    max_step: Optional[int],
+    start_level: Optional[int],
+) -> np.ndarray:
+    """Materialise the candidate matrix (seed enumeration, unmemoised)."""
     if max_step is None:
-        candidates = np.array(
+        return np.array(
             list(product(range(num_levels), repeat=horizon)), dtype=int
         )
-        return candidates
     sequences: List[Tuple[int, ...]] = []
 
     def extend(prefix: Tuple[int, ...]) -> None:
@@ -61,6 +66,56 @@ def enumerate_level_sequences(num_levels: int, horizon: int,
     return np.array(sequences, dtype=int)
 
 
+@lru_cache(maxsize=4096)
+def _cached_level_sequences(
+    num_levels: int,
+    horizon: int,
+    max_step: Optional[int],
+    start_level: Optional[int],
+) -> np.ndarray:
+    candidates = _build_level_sequences(num_levels, horizon, max_step, start_level)
+    candidates.setflags(write=False)
+    return candidates
+
+
+def enumerate_level_sequences(num_levels: int, horizon: int,
+                              max_step: Optional[int] = None,
+                              start_level: Optional[int] = None,
+                              use_cache: bool = True) -> np.ndarray:
+    """All candidate level sequences of length ``horizon``.
+
+    ``max_step`` optionally restricts consecutive levels to differ by at most
+    that many rungs (prunes the search space for long horizons);
+    ``start_level`` applies the same restriction to the first chunk relative
+    to the previously played level.
+
+    With ``use_cache`` (the default) the result is memoised on the argument
+    tuple and returned as a **read-only** array — planners evaluate
+    candidates without mutating them, and the same tree is requested at
+    every chunk of every session.  Pass ``use_cache=False`` for a fresh,
+    writable matrix.
+    """
+    require(num_levels >= 1, "num_levels must be >= 1")
+    require(horizon >= 1, "horizon must be >= 1")
+    if max_step is None:
+        start_level = None  # irrelevant without a step restriction
+    elif start_level is not None and start_level < 0:
+        start_level = None  # "no previous level" — same tree as None
+    if use_cache:
+        return _cached_level_sequences(num_levels, horizon, max_step, start_level)
+    return _build_level_sequences(num_levels, horizon, max_step, start_level)
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoised candidate trees (tests and benchmarks)."""
+    _cached_level_sequences.cache_clear()
+
+
+def plan_cache_info():
+    """``lru_cache`` statistics of the candidate-tree memo."""
+    return _cached_level_sequences.cache_info()
+
+
 @dataclass(frozen=True)
 class PlanEvaluation:
     """Outcome of evaluating candidate plans.
@@ -73,7 +128,8 @@ class PlanEvaluation:
     best_score: expected objective value of the best plan.
     expected_rebuffer_s: expected involuntary rebuffering time of the best
         plan over the horizon (useful as a risk signal).
-    num_candidates: how many (plan, stall) combinations were evaluated.
+    num_candidates: how many (plan, stall, throughput-scenario) combinations
+        were evaluated — i.e. candidates x stall options x scenarios.
     """
 
     best_level: int
@@ -91,6 +147,7 @@ def evaluate_candidates(
     weights: Optional[np.ndarray] = None,
     stall_options_s: Sequence[float] = (0.0,),
     chunk_duration_s: Optional[float] = None,
+    vectorized: bool = True,
 ) -> PlanEvaluation:
     """Score candidate level sequences and pick the best first action.
 
@@ -115,6 +172,10 @@ def evaluate_candidates(
         considers {0, 1, 2} s; traditional planners only 0).
     chunk_duration_s:
         Chunk playback duration; defaults to the observation's.
+    vectorized:
+        Score the full (stall x scenario x candidate) tensor in one pass
+        (default) or fall back to the seed's Python loops (reference
+        implementation used by equivalence tests and the perf baseline).
     """
     require(candidates.ndim == 2, "candidates must be a 2-D matrix")
     horizon = candidates.shape[1]
@@ -129,10 +190,131 @@ def evaluate_candidates(
     weights = np.asarray(weights, dtype=float)[:horizon]
     require(weights.size == horizon, "weights must cover the planning horizon")
 
+    if vectorized:
+        return _evaluate_vectorized(
+            observation, candidates, throughput_scenarios, quality_model,
+            weights, stall_options_s, chunk_duration,
+        )
+    return _evaluate_reference(
+        observation, candidates, throughput_scenarios, quality_model,
+        weights, stall_options_s, chunk_duration,
+    )
+
+
+def _evaluate_vectorized(
+    observation: PlayerObservation,
+    candidates: np.ndarray,
+    throughput_scenarios: Sequence[Tuple[float, float]],
+    quality_model: KSQIModel,
+    weights: np.ndarray,
+    stall_options_s: Sequence[float],
+    chunk_duration: float,
+) -> PlanEvaluation:
+    """One 3-D scored tensor over (stall option, scenario, candidate)."""
+    horizon = candidates.shape[1]
+    num_candidates = candidates.shape[0]
     sizes = observation.upcoming_sizes_bytes[:horizon]
     quality = observation.upcoming_quality[:horizon]
-    ladder = observation.ladder
-    bitrates = np.asarray(ladder.bitrates_kbps, dtype=float)
+    bitrates = np.asarray(observation.ladder.bitrates_kbps, dtype=float)
+    top_bitrate = bitrates[-1]
+    coeffs = quality_model.coefficients
+    previous_bitrate = (
+        bitrates[observation.last_level]
+        if observation.last_level >= 0
+        else bitrates[0]
+    )
+
+    step_index = np.arange(horizon)
+    candidate_sizes = sizes[step_index, candidates]        # (C, h)
+    candidate_quality = quality[step_index, candidates]    # (C, h)
+    candidate_bitrates = bitrates[candidates]              # (C, h)
+    switch_terms = np.empty_like(candidate_bitrates)
+    switch_terms[:, 0] = candidate_bitrates[:, 0] - previous_bitrate
+    switch_terms[:, 1:] = candidate_bitrates[:, 1:] - candidate_bitrates[:, :-1]
+    np.abs(switch_terms, out=switch_terms)
+    switch_terms /= top_bitrate
+
+    # The quality and switch terms do not depend on the stall or scenario:
+    # fold them (and the per-chunk intercept) into one static score per
+    # candidate, leaving only the rebuffer term dynamic.
+    static_scores = (
+        coeffs.intercept * float(weights.sum())
+        + (coeffs.quality_weight / 100.0) * (candidate_quality @ weights)
+        - coeffs.switch_weight * (switch_terms @ weights)
+    )                                                      # (C,)
+
+    scenario_tputs = np.array([t for t, _ in throughput_scenarios], dtype=float)
+    probabilities = np.array([p for _, p in throughput_scenarios], dtype=float)
+    rates_bytes_per_s = np.maximum(scenario_tputs, 1e-3) * 1e6 / 8.0
+    download_times = (
+        candidate_sizes[None, :, :] / rates_bytes_per_s[:, None, None]
+    )                                                      # (S, C, h)
+
+    stalls = np.asarray(stall_options_s, dtype=float)
+    num_stalls = stalls.size
+    num_scenarios = rates_bytes_per_s.size
+    buffer_levels = np.empty((num_stalls, num_scenarios, num_candidates))
+    buffer_levels[:] = (observation.buffer_s + stalls)[:, None, None]
+    weighted_rebuffer = np.zeros_like(buffer_levels)
+    total_rebuffer = np.zeros_like(buffer_levels)
+    for step in range(horizon):
+        dt = download_times[None, :, :, step]              # (1, S, C)
+        shortfall = np.maximum(dt - buffer_levels, 0.0)
+        weighted_rebuffer += shortfall * weights[step]
+        total_rebuffer += shortfall
+        buffer_levels = np.minimum(
+            np.maximum(buffer_levels - dt, 0.0) + chunk_duration,
+            observation.buffer_capacity_s,
+        )
+
+    stall_penalties = coeffs.rebuffer_weight * stalls * weights[0]  # (St,)
+    plan_scores = (
+        static_scores[None, None, :]
+        - coeffs.rebuffer_weight * weighted_rebuffer
+        - stall_penalties[:, None, None]
+    )                                                      # (St, S, C)
+    expected_scores = np.einsum("s,tsc->tc", probabilities, plan_scores)
+    expected_rebuffer = np.einsum("s,tsc->tc", probabilities, total_rebuffer)
+
+    # Selection mirrors the reference loop: stalls considered in order, the
+    # first candidate index wins ties within a stall, and a later stall must
+    # *strictly* beat the incumbent.
+    best_score = -np.inf
+    best_level = int(candidates[0, 0])
+    best_stall = float(stalls[0])
+    best_rebuffer = 0.0
+    for stall_index in range(num_stalls):
+        top_index = int(np.argmax(expected_scores[stall_index]))
+        score = float(expected_scores[stall_index, top_index])
+        if score > best_score:
+            best_score = score
+            best_level = int(candidates[top_index, 0])
+            best_stall = float(stalls[stall_index])
+            best_rebuffer = float(expected_rebuffer[stall_index, top_index])
+
+    return PlanEvaluation(
+        best_level=best_level,
+        best_stall_s=best_stall,
+        best_score=best_score,
+        expected_rebuffer_s=best_rebuffer,
+        num_candidates=num_candidates * num_stalls * num_scenarios,
+    )
+
+
+def _evaluate_reference(
+    observation: PlayerObservation,
+    candidates: np.ndarray,
+    throughput_scenarios: Sequence[Tuple[float, float]],
+    quality_model: KSQIModel,
+    weights: np.ndarray,
+    stall_options_s: Sequence[float],
+    chunk_duration: float,
+) -> PlanEvaluation:
+    """The seed implementation: Python loops over stalls and scenarios."""
+    horizon = candidates.shape[1]
+    sizes = observation.upcoming_sizes_bytes[:horizon]
+    quality = observation.upcoming_quality[:horizon]
+    bitrates = np.asarray(observation.ladder.bitrates_kbps, dtype=float)
     top_bitrate = bitrates[-1]
     coeffs = quality_model.coefficients
     num_candidates = candidates.shape[0]
@@ -208,5 +390,7 @@ def evaluate_candidates(
         best_stall_s=best_stall,
         best_score=best_score,
         expected_rebuffer_s=best_rebuffer,
-        num_candidates=num_candidates * len(stall_options_s),
+        num_candidates=(
+            num_candidates * len(stall_options_s) * len(throughput_scenarios)
+        ),
     )

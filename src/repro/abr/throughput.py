@@ -100,12 +100,31 @@ class ErrorDistributionPredictor(ThroughputPredictor):
         self.ratio_range = (float(ratio_range[0]), float(ratio_range[1]))
         self.default_mbps = float(default_mbps)
         self._base = HarmonicMeanPredictor(window=window, default_mbps=default_mbps)
-        self._observed_ratios: List[float] = []
+        self._num_ratios = 0
         self._last_prediction: float = 0.0
+        # Constant per-instance arrays, hoisted out of the per-decision path.
+        lo, hi = self.ratio_range
+        self._bin_centers = np.linspace(lo, hi, self.num_bins)
+        self._bin_edges = np.linspace(lo, hi, self.num_bins + 1)
+        # Seed template for up to five bins; resampled onto the bin grid
+        # for larger num_bins (the seed truncated the template instead,
+        # silently dropping the upper bins' probability mass).
+        template = np.array([0.1, 0.15, 0.5, 0.15, 0.1])
+        if self.num_bins <= template.size:
+            cold = template[: self.num_bins]
+        else:
+            cold = np.interp(
+                np.linspace(0.0, 1.0, self.num_bins),
+                np.linspace(0.0, 1.0, template.size),
+                template,
+            )
+        self._cold_start_probs = cold / cold.sum()
+        self._bin_counts = np.zeros(self.num_bins, dtype=int)
 
     def reset(self) -> None:
-        self._observed_ratios = []
+        self._num_ratios = 0
         self._last_prediction = 0.0
+        self._bin_counts = np.zeros(self.num_bins, dtype=int)
 
     def predict(self, observation: PlayerObservation) -> float:
         prediction = self._base.predict(observation)
@@ -120,26 +139,29 @@ class ErrorDistributionPredictor(ThroughputPredictor):
         actual = float(history[-1])
         ratio = actual / self._last_prediction
         lo, hi = self.ratio_range
-        self._observed_ratios.append(float(np.clip(ratio, lo, hi)))
+        clipped = min(max(ratio, lo), hi)
+        self._num_ratios += 1
+        # Maintain the histogram incrementally (same binning as
+        # ``np.histogram`` over ``self._bin_edges``: right-open bins, the
+        # last bin closed) so the distribution needs no per-decision pass
+        # over the whole history.
+        index = int(np.searchsorted(self._bin_edges, clipped, side="right")) - 1
+        self._bin_counts[min(max(index, 0), self.num_bins - 1)] += 1
 
     def predict_distribution(
         self, observation: PlayerObservation
     ) -> List[Tuple[float, float]]:
         """Discretised distribution over next-download throughput."""
         prediction = self.predict(observation)
-        lo, hi = self.ratio_range
-        centers = np.linspace(lo, hi, self.num_bins)
-        if len(self._observed_ratios) < 3:
+        if self._num_ratios < 3:
             # Cold start: concentrated near the point prediction with thin
             # symmetric tails (strong pessimism here causes phantom stall
             # risk and gratuitous hedging early in a session).
-            probabilities = np.array([0.1, 0.15, 0.5, 0.15, 0.1][: self.num_bins])
-            probabilities = probabilities / probabilities.sum()
+            probabilities = self._cold_start_probs
         else:
-            edges = np.linspace(lo, hi, self.num_bins + 1)
-            counts, _ = np.histogram(self._observed_ratios, bins=edges)
-            probabilities = (counts + 0.5) / float(np.sum(counts + 0.5))
+            smoothed = self._bin_counts + 0.5
+            probabilities = smoothed / float(smoothed.sum())
         return [
             (float(prediction * center), float(prob))
-            for center, prob in zip(centers, probabilities)
+            for center, prob in zip(self._bin_centers, probabilities)
         ]

@@ -1,0 +1,34 @@
+"""Batch simulation engine: the performance layer of the reproduction.
+
+The experiment harness sweeps (ABR x video x trace) grids through thousands
+of streaming sessions.  This package holds everything that makes those
+sweeps fast without changing their results:
+
+* :mod:`repro.engine.precompute` — per-video observation matrices served as
+  slices (:class:`SessionPrecompute`) and fixed-size history ring buffers
+  (:class:`HistoryRing`), so the per-chunk control loop allocates nothing it
+  can precompute;
+* :mod:`repro.engine.runner` — :class:`BatchRunner`, which shards a list of
+  :class:`WorkOrder`s over a deterministic serial backend or a
+  ``ProcessPoolExecutor`` while preserving result ordering;
+* :mod:`repro.engine.report` — the ``BENCH_engine.json`` reporter that
+  tracks sessions/sec, decisions/sec and grid wall-clock across PRs.
+
+See ``docs/PERFORMANCE.md`` for the architecture and how to run the perf
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.engine.precompute import HistoryRing, SessionPrecompute
+from repro.engine.report import BenchReport, write_bench_report
+from repro.engine.runner import BatchRunner, WorkOrder
+
+__all__ = [
+    "BatchRunner",
+    "BenchReport",
+    "HistoryRing",
+    "SessionPrecompute",
+    "WorkOrder",
+    "write_bench_report",
+]

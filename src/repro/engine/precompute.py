@@ -1,0 +1,120 @@
+"""Per-session precomputation: observation matrices and history rings.
+
+The streaming session builds one :class:`~repro.abr.base.PlayerObservation`
+per chunk.  In the seed implementation every observation re-stacked the
+upcoming chunks' size/quality arrays (``np.stack`` over ``horizon`` rows)
+and re-materialised the throughput history from an ever-growing Python list.
+Both costs are avoidable:
+
+* the (num_chunks, num_levels) size/quality matrices are a property of the
+  *video*, so :class:`SessionPrecompute` materialises them once and serves
+  read-only slices — an observation's ``upcoming_sizes_bytes`` is then just
+  ``sizes[i:i + h]`` with no copy;
+* the observation only ever sees the last ``history_length`` samples, so
+  :class:`HistoryRing` stores exactly that many in a fixed ndarray instead
+  of appending to an unbounded list.
+
+Precomputes are cached on the :class:`~repro.video.encoder.EncodedVideo`
+instance itself (videos are immutable once encoded), so a grid sweep that
+streams the same video over many traces and ABRs pays the stacking cost
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+from repro.video.encoder import EncodedVideo
+
+#: Attribute name under which the precompute is cached on an EncodedVideo.
+_CACHE_ATTR = "_session_precompute_cache"
+
+
+class SessionPrecompute:
+    """Read-only per-video matrices the session control loop slices from.
+
+    Attributes
+    ----------
+    sizes_bytes:
+        (num_chunks, num_levels) chunk sizes, read-only.
+    quality:
+        (num_chunks, num_levels) VMAF-like quality scores, read-only.
+    """
+
+    def __init__(self, encoded: EncodedVideo) -> None:
+        self.encoded = encoded
+        # Already stacked once and cached read-only on the video itself.
+        self.sizes_bytes = encoded.sizes_matrix()
+        self.quality = encoded.quality_matrix()
+        self.num_chunks = encoded.num_chunks
+        self.num_levels = encoded.ladder.num_levels
+
+    @classmethod
+    def of(cls, encoded: EncodedVideo) -> "SessionPrecompute":
+        """The (cached) precompute of a video; built on first use."""
+        cached = getattr(encoded, _CACHE_ATTR, None)
+        if cached is None:
+            cached = cls(encoded)
+            setattr(encoded, _CACHE_ATTR, cached)
+        return cached
+
+    def upcoming(
+        self, chunk_index: int, horizon: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(sizes, quality) views for ``horizon`` chunks from ``chunk_index``."""
+        require(0 <= chunk_index < self.num_chunks, "chunk index out of range")
+        stop = chunk_index + horizon
+        return self.sizes_bytes[chunk_index:stop], self.quality[chunk_index:stop]
+
+    def chunk_size_bytes(self, chunk_index: int, level: int) -> float:
+        """Size in bytes of a chunk at a bitrate level (matrix lookup)."""
+        return float(self.sizes_bytes[chunk_index, level])
+
+
+class HistoryRing:
+    """Fixed-capacity ring buffer over the most recent float samples.
+
+    Replaces the seed's unbounded ``List[float]`` histories: the observation
+    only ever consumes the last ``capacity`` samples, so older ones need not
+    be retained at all.  :meth:`as_array` returns the retained samples oldest
+    first, matching ``np.asarray(history[-capacity:])`` exactly.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        require(capacity >= 1, "ring capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buffer = np.empty(self.capacity, dtype=float)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, value: float) -> None:
+        """Append a sample, evicting the oldest once at capacity."""
+        self._buffer[self._next] = value
+        self._next = (self._next + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    #: List-compatible alias so the session loop reads the same either way.
+    append = push
+
+    def as_array(self) -> np.ndarray:
+        """The retained samples, oldest first (a fresh array each call)."""
+        if self._count < self.capacity:
+            return self._buffer[: self._count].copy()
+        if self._next == 0:
+            return self._buffer.copy()
+        return np.concatenate(
+            [self._buffer[self._next:], self._buffer[: self._next]]
+        )
+
+    def last(self, default: float = 0.0) -> float:
+        """Most recent sample, or ``default`` when empty."""
+        if self._count == 0:
+            return float(default)
+        return float(self._buffer[(self._next - 1) % self.capacity])

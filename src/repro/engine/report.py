@@ -1,0 +1,69 @@
+"""Perf-trajectory reporting: the ``BENCH_engine.json`` writer.
+
+The perf harness (``benchmarks/test_perf_engine.py``) measures three things
+every run — sessions/sec, planner decisions/sec and the quick-scale grid
+wall-clock (seed implementation vs engine, measured back to back in the same
+process) — and persists them here so the numbers can be tracked PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Default report location (repo root).
+DEFAULT_REPORT_NAME = "BENCH_engine.json"
+
+
+@dataclass
+class BenchReport:
+    """Aggregate of one perf-harness run.
+
+    Attributes
+    ----------
+    sessions_per_sec:
+        Engine-path streaming sessions completed per second.
+    decisions_per_sec:
+        Planner decisions per second, per measured ABR.
+    grid:
+        Quick-scale grid timings: seed and engine wall-clock seconds, the
+        resulting speedup, cell count and the backend the engine used.
+    meta:
+        Environment fingerprint (python, platform, CPU count).
+    """
+
+    sessions_per_sec: float = 0.0
+    decisions_per_sec: Dict[str, float] = field(default_factory=dict)
+    grid: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return asdict(self)
+
+
+def write_bench_report(
+    report: BenchReport, path: Union[str, Path, None] = None
+) -> Path:
+    """Write the report as indented JSON; returns the path written."""
+    if path is None:
+        path = Path.cwd() / DEFAULT_REPORT_NAME
+    path = Path(path)
+    payload = report.to_dict()
+    payload["meta"].setdefault("python", platform.python_version())
+    payload["meta"].setdefault("platform", platform.platform())
+    payload["meta"].setdefault("cpu_count", os.cpu_count())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_report(path: Union[str, Path]) -> Optional[dict]:
+    """Load a previously written report, or ``None`` if absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

@@ -1,0 +1,213 @@
+"""BatchRunner: ordered execution of (ABR, video, trace) work orders.
+
+The experiment harness reduces to one primitive: run a list of streaming
+sessions and collect their :class:`~repro.player.session.StreamResult`s in a
+deterministic order.  :class:`BatchRunner` provides exactly that primitive
+with two interchangeable backends:
+
+* ``serial`` — runs orders in submission order, in process, reusing the ABR
+  instances it is given.  This is byte-for-byte the seed behaviour and the
+  backend tests and equivalence checks rely on.
+* ``process`` — shards orders over a ``ProcessPoolExecutor``.  Each worker
+  receives a pickled copy of its order (ABR state cannot leak between
+  shards); because every session begins with ``abr.reset()``, the results
+  are numerically identical to the serial backend.  Falls back to serial
+  when the platform offers a single CPU or the orders cannot be pickled, so
+  callers never need a fallback path of their own.
+
+Result ordering always matches submission ordering, whichever backend ran.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm
+from repro.network.trace import ThroughputTrace
+from repro.player.session import SessionConfig, StreamingSession, StreamResult
+from repro.utils.validation import require
+from repro.video.encoder import EncodedVideo
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Supported backends.
+BACKENDS = ("serial", "process")
+
+
+@dataclass
+class WorkOrder:
+    """One streaming session to run.
+
+    Attributes
+    ----------
+    abr: the ABR algorithm instance (reset at session start).
+    encoded: the video to stream.
+    trace: the throughput trace to stream over.
+    config: optional player configuration.
+    chunk_weights: optional per-chunk sensitivity weights.
+    """
+
+    abr: ABRAlgorithm
+    encoded: EncodedVideo
+    trace: ThroughputTrace
+    config: Optional[SessionConfig] = None
+    chunk_weights: Optional[np.ndarray] = None
+
+    def run(self) -> StreamResult:
+        """Execute the order and return the session result."""
+        session = StreamingSession(
+            encoded=self.encoded,
+            trace=self.trace,
+            abr=self.abr,
+            config=self.config,
+            chunk_weights=self.chunk_weights,
+        )
+        return session.run()
+
+
+def _execute_order(order: WorkOrder) -> StreamResult:
+    """Top-level order executor (must be module-level to pickle)."""
+    return order.run()
+
+
+class BatchRunner:
+    """Runs work orders through a serial or process-pool backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"process"``.
+    max_workers:
+        Worker count for the process backend; defaults to the CPU count.
+    chunksize:
+        Orders handed to a worker at a time (process backend); larger chunks
+        amortise pickling for many small sessions.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunksize: int = 1,
+    ) -> None:
+        require(backend in BACKENDS, f"backend must be one of {BACKENDS}")
+        require(chunksize >= 1, "chunksize must be >= 1")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunksize = int(chunksize)
+
+    @classmethod
+    def auto(cls, max_workers: Optional[int] = None) -> "BatchRunner":
+        """Process-pool runner on multi-core hosts, serial otherwise."""
+        cores = os.cpu_count() or 1
+        if cores > 1:
+            return cls(backend="process", max_workers=max_workers, chunksize=2)
+        return cls(backend="serial")
+
+    # ------------------------------------------------------------------ API
+
+    def run_orders(self, orders: Sequence[WorkOrder]) -> List[StreamResult]:
+        """Run every order; results align index-for-index with ``orders``."""
+        return self.map_ordered(_execute_order, orders)
+
+    def map_ordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> List[_R]:
+        """Apply ``fn`` to every item, preserving order.
+
+        The serial backend is a plain loop; the process backend distributes
+        items over workers and reassembles results in submission order.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or len(items) == 1:
+            return [fn(item) for item in items]
+        if not self._picklable(fn, items[0]):
+            warnings.warn(
+                "BatchRunner: work items are not picklable; "
+                "falling back to the serial backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+        max_workers = self.max_workers or os.cpu_count() or 1
+        max_workers = min(max_workers, len(items))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(fn, items, chunksize=self.chunksize))
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            # The cheap pre-check above only samples the first item; a
+            # heterogeneous batch can still fail to pickle mid-flight.
+            # Unpicklable objects surface as PicklingError, TypeError or
+            # AttributeError depending on the offender — but ``fn`` itself
+            # may legitimately raise the latter two, so only fall back when
+            # some item really does not pickle; otherwise the error is the
+            # caller's and must propagate.  (Worker crashes —
+            # BrokenProcessPool — also propagate: silently re-running a
+            # possibly-OOM-inducing batch in the parent would mask the
+            # crash.)  Items are checked one at a time, short-circuiting on
+            # the first offender, so classification never duplicates the
+            # whole batch in memory.
+            if not isinstance(error, pickle.PicklingError):
+                if all(self._picklable(fn, item) for item in items):
+                    raise
+            warnings.warn(
+                f"BatchRunner: process backend failed ({error}); "
+                "rerunning serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _picklable(fn: Callable, sample_item) -> bool:
+        try:
+            pickle.dumps((fn, sample_item))
+            return True
+        except Exception:
+            return False
+
+
+def orders_for_grid(
+    abrs: Sequence[ABRAlgorithm],
+    videos: Sequence[EncodedVideo],
+    traces: Sequence[ThroughputTrace],
+    config: Optional[SessionConfig] = None,
+    weights_by_video: Optional[dict] = None,
+) -> List[Tuple[Tuple[str, str, str], WorkOrder]]:
+    """Work orders for every (ABR, video, trace) combination.
+
+    Iteration order matches the seed ``simulate_many`` loop (ABR outermost,
+    trace innermost) so serial execution reproduces it exactly.  Each entry
+    pairs the ``(abr_name, video_id, trace_name)`` key with its order.
+    """
+    weights_by_video = weights_by_video or {}
+    keyed: List[Tuple[Tuple[str, str, str], WorkOrder]] = []
+    for abr in abrs:
+        for encoded in videos:
+            weights = weights_by_video.get(encoded.source.video_id)
+            for trace in traces:
+                keyed.append(
+                    (
+                        (abr.name, encoded.source.video_id, trace.name),
+                        WorkOrder(
+                            abr=abr,
+                            encoded=encoded,
+                            trace=trace,
+                            config=config,
+                            chunk_weights=weights,
+                        ),
+                    )
+                )
+    return keyed

@@ -8,8 +8,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.abr.offline import OfflineOptimalABR
+from repro.engine.runner import BatchRunner, WorkOrder
 from repro.experiments.common import ExperimentContext
-from repro.player.simulator import simulate_session
 from repro.qoe.ksqi import KSQIModel
 from repro.utils.stats import cdf_points
 from repro.video.encoder import EncodedVideo
@@ -75,8 +75,16 @@ def fig06_potential_gains(
 def _evaluate_grid(
     context: ExperimentContext,
     include_pensieve: bool = False,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, Dict[Tuple[str, str], float]]:
-    """True QoE of each ABR on every (video, trace) pair."""
+    """True QoE of each ABR on every (video, trace) pair.
+
+    The whole grid is dispatched through the batch engine: work orders are
+    built in the seed's (video, trace, algorithm) nesting order, executed by
+    ``runner`` (the context's runner by default — serial unless configured
+    otherwise), and scored by the oracle in the parent process.
+    """
+    runner = runner if runner is not None else context.runner
     algorithms: Dict[str, Tuple[object, bool]] = {
         "BBA": (context.make_bba(), False),
         "Fugu": (context.make_fugu(), False),
@@ -85,16 +93,28 @@ def _evaluate_grid(
     if include_pensieve:
         algorithms["Pensieve"] = (context.trained_pensieve(), False)
         algorithms["SENSEI-Pensieve"] = (context.trained_sensei_pensieve(), True)
-    scores: Dict[str, Dict[Tuple[str, str], float]] = {
-        name: {} for name in algorithms
-    }
+    keys: List[Tuple[str, str, str]] = []
+    orders: List[WorkOrder] = []
     for encoded in context.videos():
         video_id = encoded.source.video_id
         for trace in context.traces():
             for name, (abr, use_weights) in algorithms.items():
-                scores[name][(video_id, trace.name)] = context.stream_qoe(
-                    abr, encoded, trace, use_weights=use_weights
+                weights = context.weights(video_id) if use_weights else None
+                keys.append((name, video_id, trace.name))
+                orders.append(
+                    WorkOrder(
+                        abr=abr, encoded=encoded, trace=trace,
+                        chunk_weights=weights,
+                    )
                 )
+    results = runner.run_orders(orders)
+    scores: Dict[str, Dict[Tuple[str, str], float]] = {
+        name: {} for name in algorithms
+    }
+    for (name, video_id, trace_name), result in zip(keys, results):
+        scores[name][(video_id, trace_name)] = context.oracle.true_qoe(
+            result.rendered
+        )
     return scores
 
 

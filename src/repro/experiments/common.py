@@ -28,6 +28,7 @@ from repro.core.qoe_model import SenseiQoEModel
 from repro.core.scheduler import SchedulerConfig
 from repro.core.sensei_abr import SenseiFuguABR, SenseiPensieveABR, make_sensei_pensieve
 from repro.core.weights import SensitivityProfile
+from repro.engine.runner import BatchRunner
 from repro.network.bank import TraceBank
 from repro.network.trace import ThroughputTrace
 from repro.player.simulator import simulate_session
@@ -94,9 +95,11 @@ class ExperimentContext:
         scale: Optional[ExperimentScale] = None,
         seed: int = 7,
         oracle: Optional[GroundTruthOracle] = None,
+        runner: Optional[BatchRunner] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.quick()
         self.seed = int(seed)
+        self.runner = runner if runner is not None else BatchRunner()
         self.library = VideoLibrary(seed=seed)
         self.oracle = oracle if oracle is not None else GroundTruthOracle()
         self.trace_bank = TraceBank(

@@ -28,6 +28,16 @@ STANDARD_INCIDENTS = {
 }
 
 
+def _series_true_qoe(item) -> List[float]:
+    """True QoE of every rendering in one (video, incident) series.
+
+    Module-level so the batch engine's process backend can pickle it; each
+    item is an ``(oracle, encoded, incident)`` tuple.
+    """
+    oracle, encoded, incident = item
+    return [oracle.true_qoe(r) for r in make_video_series(encoded, incident)]
+
+
 def table1_video_set(context: ExperimentContext) -> Dict[str, object]:
     """Table 1: the 16-video test set (name, genre, length, source)."""
     rows = context.library.table1_rows()
@@ -100,16 +110,19 @@ def fig03_qoe_gap_cdf(
     """
     whole_video_gaps: List[float] = []
     windowed_gaps: List[float] = []
-    for encoded in context.videos():
-        for incident in STANDARD_INCIDENTS.values():
-            series = make_video_series(encoded, incident)
-            qoe = np.array([context.oracle.true_qoe(r) for r in series])
-            q_min, q_max = float(qoe.min()), float(qoe.max())
-            whole_video_gaps.append((q_max - q_min) / max(q_min, 1e-9))
-            for start in range(0, len(series) - window_chunks + 1, window_chunks):
-                window = qoe[start : start + window_chunks]
-                w_min, w_max = float(window.min()), float(window.max())
-                windowed_gaps.append((w_max - w_min) / max(w_min, 1e-9))
+    items = [
+        (context.oracle, encoded, incident)
+        for encoded in context.videos()
+        for incident in STANDARD_INCIDENTS.values()
+    ]
+    for series_qoe in context.runner.map_ordered(_series_true_qoe, items):
+        qoe = np.array(series_qoe)
+        q_min, q_max = float(qoe.min()), float(qoe.max())
+        whole_video_gaps.append((q_max - q_min) / max(q_min, 1e-9))
+        for start in range(0, qoe.size - window_chunks + 1, window_chunks):
+            window = qoe[start : start + window_chunks]
+            w_min, w_max = float(window.min()), float(window.max())
+            windowed_gaps.append((w_max - w_min) / max(w_min, 1e-9))
     whole_x, whole_cdf = cdf_points(whole_video_gaps)
     return {
         "num_series": len(whole_video_gaps),
@@ -148,13 +161,18 @@ def fig05_incident_rank_correlation(context: ExperimentContext) -> Dict[str, obj
     corr_1s_vs_4s: List[float] = []
     corr_1s_vs_drop: List[float] = []
     video_ids: List[str] = []
-    for encoded in context.videos():
+    videos = context.videos()
+    incident_names = list(STANDARD_INCIDENTS)
+    items = [
+        (context.oracle, encoded, STANDARD_INCIDENTS[name])
+        for encoded in videos
+        for name in incident_names
+    ]
+    scored = context.runner.map_ordered(_series_true_qoe, items)
+    for video_index, encoded in enumerate(videos):
         series_by_incident = {
-            name: [
-                context.oracle.true_qoe(r)
-                for r in make_video_series(encoded, incident)
-            ]
-            for name, incident in STANDARD_INCIDENTS.items()
+            name: scored[video_index * len(incident_names) + offset]
+            for offset, name in enumerate(incident_names)
         }
         video_ids.append(encoded.source.video_id)
         corr_1s_vs_4s.append(

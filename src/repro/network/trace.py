@@ -40,8 +40,14 @@ class ThroughputTrace:
     name: str = "trace"
 
     def __post_init__(self) -> None:
-        ts = np.asarray(self.timestamps_s, dtype=float)
-        bw = np.asarray(self.bandwidths_mbps, dtype=float)
+        # Own copies, frozen: the download-time index below is derived from
+        # these arrays at construction, so in-place mutation would silently
+        # desync bandwidth_at() from download_time_s().  Transformations go
+        # through scaled()/with_added_noise()/..., which build new traces.
+        ts = np.array(self.timestamps_s, dtype=float)
+        bw = np.array(self.bandwidths_mbps, dtype=float)
+        ts.setflags(write=False)
+        bw.setflags(write=False)
         object.__setattr__(self, "timestamps_s", ts)
         object.__setattr__(self, "bandwidths_mbps", bw)
         require(ts.ndim == 1 and bw.ndim == 1, "trace arrays must be 1-D")
@@ -50,16 +56,45 @@ class ThroughputTrace:
         require(abs(float(ts[0])) < 1e-9, "trace must start at t=0")
         require(bool(np.all(np.diff(ts) > 0)), "timestamps must be increasing")
         require(bool(np.all(bw > 0)), "bandwidths must be positive")
+        # Duration and the download-time integrator index are immutable
+        # consequences of the sample arrays; computing them once here keeps
+        # the per-download hot path free of repeated median/cumsum work.
+        if ts.size == 1:
+            duration = 1.0
+        else:
+            spacing = float(np.median(np.diff(ts)))
+            duration = float(ts[-1]) + spacing
+        object.__setattr__(self, "_duration_s", duration)
+        segment_ends = np.append(ts[1:], duration)
+        rates_bits = np.maximum(bw, _MIN_BANDWIDTH_MBPS) * 1e6
+        capacity_bits = rates_bits * (segment_ends - ts)
+        object.__setattr__(self, "_segment_rates_bits", rates_bits)
+        object.__setattr__(self, "_cum_capacity_bits", np.cumsum(capacity_bits))
+
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        The derived integrator index (underscore attributes) roughly
+        doubles the payload and is cheap to re-derive, so process-pool
+        work orders ship without it.
+        """
+        from repro.utils.pickling import public_state
+
+        return public_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        # Re-derive the index and re-freeze the arrays (numpy pickling drops
+        # the write=False flag).
+        self.__post_init__()
 
     # --------------------------------------------------------------- basics
 
     @property
     def duration_s(self) -> float:
         """Nominal duration: last timestamp plus the median sample spacing."""
-        if self.timestamps_s.size == 1:
-            return 1.0
-        spacing = float(np.median(np.diff(self.timestamps_s)))
-        return float(self.timestamps_s[-1]) + spacing
+        return self._duration_s
 
     @property
     def mean_mbps(self) -> float:
@@ -90,7 +125,64 @@ class ThroughputTrace:
         """Seconds needed to download ``size_bytes`` starting at ``start_time_s``.
 
         Integrates the piecewise-constant bandwidth (with wrap-around) until
-        the requested number of bytes has been delivered.
+        the requested number of bytes has been delivered.  Uses the cumulative
+        per-cycle capacity index built at construction, so each call costs two
+        binary searches instead of a walk over the trace segments.
+
+        This is the exact piecewise integral.  It also fixes a seed bug:
+        the segment walk retained as :meth:`download_time_s_reference`
+        misattributes a segment's rate at knife-edge boundary wraps on
+        traces with non-float-exact timestamp spacing (see its docstring);
+        the indexed path has no boundary epsilon at all.  On this repo's
+        integer-spaced traces the two agree to floating-point tolerance.
+        """
+        require_positive(size_bytes, "size_bytes")
+        require(start_time_s >= 0, "start_time_s must be >= 0")
+        ts = self.timestamps_s
+        cum = self._cum_capacity_bits
+        rates = self._segment_rates_bits
+        duration = self._duration_s
+        cycle_bits = float(cum[-1])
+
+        wrapped = float(start_time_s) % duration
+        start_seg = max(int(np.searchsorted(ts, wrapped, side="right") - 1), 0)
+        seg_end = float(ts[start_seg + 1]) if start_seg + 1 < ts.size else duration
+        # Bits deliverable from the cycle start up to the wrapped start time.
+        bits_before = float(cum[start_seg]) - float(rates[start_seg]) * (
+            seg_end - wrapped
+        )
+        target_bits = bits_before + size_bytes * 8.0
+
+        full_cycles, within_cycle = divmod(target_bits, cycle_bits)
+        end_seg = int(np.searchsorted(cum, within_cycle, side="right"))
+        if end_seg >= ts.size:  # within_cycle landed on cum[-1] by rounding
+            end_seg = ts.size - 1
+        bits_into_seg = within_cycle - (float(cum[end_seg - 1]) if end_seg else 0.0)
+        end_time = float(ts[end_seg]) + bits_into_seg / float(rates[end_seg])
+        return full_cycles * duration + end_time - wrapped
+
+    def download_time_s_reference(
+        self, size_bytes: float, start_time_s: float
+    ) -> float:
+        """Reference (seed) implementation of :meth:`download_time_s`.
+
+        Walks the trace segment by segment, byte-faithful to the seed
+        (including its per-step duration recomputation).  Kept as the cost
+        and behaviour baseline the engine perf harness measures speedups
+        from, and as the equivalence oracle on well-spaced traces.
+
+        Known seed artifact, deliberately preserved: the walk's rate
+        selection (no epsilon) and boundary stepping (``1e-12`` epsilon)
+        disagree at knife-edge wraps.  When float rounding leaves a wrapped
+        time infinitesimally below a segment boundary — which happens
+        systematically on traces whose timestamp spacing is not float-exact
+        — the walk charges the entire following segment at the *previous*
+        segment's rate.  (That skip is also what guarantees the walk's
+        forward progress, so it cannot be "fixed" locally; the indexed
+        :meth:`download_time_s` replaces the walk outright with the exact
+        integral.)  On this repo's generated traces (integer-spaced
+        timestamps) every boundary is float-exact and the two integrators
+        agree to ~1e-13 relative.
         """
         require_positive(size_bytes, "size_bytes")
         require(start_time_s >= 0, "start_time_s must be >= 0")
@@ -100,9 +192,11 @@ class ThroughputTrace:
         # Hard cap to avoid infinite loops on pathological inputs.
         max_iterations = 10_000_000
         for _ in range(max_iterations):
-            bandwidth_mbps = max(self.bandwidth_at(now), _MIN_BANDWIDTH_MBPS)
+            bandwidth_mbps = max(
+                self._bandwidth_at_reference(now), _MIN_BANDWIDTH_MBPS
+            )
             rate_bits_per_s = bandwidth_mbps * 1e6
-            boundary = self._next_boundary_after(now)
+            boundary = self._next_boundary_after_reference(now)
             window = boundary - now
             deliverable = rate_bits_per_s * window
             if deliverable >= remaining_bits:
@@ -112,13 +206,27 @@ class ThroughputTrace:
             now = boundary
         raise RuntimeError("download_time_s did not converge")
 
-    def _next_boundary_after(self, time_s: float) -> float:
-        wrapped = time_s % self.duration_s
+    def _duration_s_reference(self) -> float:
+        """The seed ``duration_s`` property: recomputed on every call."""
+        if self.timestamps_s.size == 1:
+            return 1.0
+        spacing = float(np.median(np.diff(self.timestamps_s)))
+        return float(self.timestamps_s[-1]) + spacing
+
+    def _bandwidth_at_reference(self, time_s: float) -> float:
+        require(time_s >= 0, "time must be >= 0")
+        wrapped = float(time_s) % self._duration_s_reference()
+        index = int(np.searchsorted(self.timestamps_s, wrapped, side="right") - 1)
+        index = max(0, index)
+        return float(self.bandwidths_mbps[index])
+
+    def _next_boundary_after_reference(self, time_s: float) -> float:
+        wrapped = time_s % self._duration_s_reference()
         cycle_start = time_s - wrapped
         later = self.timestamps_s[self.timestamps_s > wrapped + 1e-12]
         if later.size:
             return cycle_start + float(later[0])
-        return cycle_start + self.duration_s
+        return cycle_start + self._duration_s_reference()
 
     # ---------------------------------------------------------- transformations
 

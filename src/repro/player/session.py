@@ -32,6 +32,11 @@ from repro.utils.validation import require, require_positive
 from repro.video.encoder import EncodedVideo
 from repro.video.rendering import RenderedVideo
 
+#: Floor for download durations when computing measured throughput; a trace
+#: that yields a ~0 s download must not produce an infinite throughput
+#: sample (or a division-by-zero) in the download record.
+MIN_DOWNLOAD_DURATION_S = 1e-9
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -109,7 +114,20 @@ class StreamResult:
 
 
 class StreamingSession:
-    """Runs one ABR algorithm over one encoded video and one trace."""
+    """Runs one ABR algorithm over one encoded video and one trace.
+
+    ``use_precompute`` (default) is the engine/seed switch for the whole
+    session fast path: per-chunk observations served as slices of the
+    video's cached :class:`~repro.engine.precompute.SessionPrecompute`
+    matrices, throughput histories in fixed ring buffers, **and** the
+    indexed trace integrator (:meth:`ThroughputTrace.download_time_s`).
+    Passing ``False`` selects the seed implementation of all three
+    (per-chunk ``np.stack``, growing lists, and the segment-walking
+    :meth:`ThroughputTrace.download_time_s_reference`) — retained as the
+    baseline the engine perf harness measures speedups against.  Supplying
+    an explicit ``precompute`` together with ``use_precompute=False`` is a
+    contradiction and rejected.
+    """
 
     def __init__(
         self,
@@ -118,6 +136,8 @@ class StreamingSession:
         abr: ABRAlgorithm,
         config: Optional[SessionConfig] = None,
         chunk_weights: Optional[np.ndarray] = None,
+        use_precompute: bool = True,
+        precompute: Optional["SessionPrecompute"] = None,
     ) -> None:
         self.encoded = encoded
         self.trace = trace
@@ -132,6 +152,21 @@ class StreamingSession:
         )
         require(bool(np.all(chunk_weights > 0)), "chunk weights must be positive")
         self.chunk_weights = chunk_weights
+        require(
+            use_precompute or precompute is None,
+            "precompute supplied but use_precompute=False",
+        )
+        require(
+            precompute is None or precompute.encoded is encoded,
+            "precompute belongs to a different encoded video",
+        )
+        self.use_precompute = bool(use_precompute)
+        if precompute is None and self.use_precompute:
+            # Imported lazily: repro.engine depends on the player package.
+            from repro.engine.precompute import SessionPrecompute
+
+            precompute = SessionPrecompute.of(encoded)
+        self.precompute = precompute
 
     # ------------------------------------------------------------------ run
 
@@ -147,8 +182,15 @@ class StreamingSession:
 
         levels = np.zeros(num_chunks, dtype=int)
         stalls = np.zeros(num_chunks)
-        throughput_history: List[float] = []
-        download_time_history: List[float] = []
+        if self.use_precompute:
+            from repro.engine.precompute import HistoryRing
+
+            history_len = self.config.history_length
+            throughput_history = HistoryRing(history_len)
+            download_time_history = HistoryRing(history_len)
+        else:
+            throughput_history: List[float] = []
+            download_time_history: List[float] = []
 
         wall_time = 0.0
         played_s = 0.0
@@ -171,9 +213,18 @@ class StreamingSession:
             if decision.proactive_stall_s > 0:
                 pending_proactive_s += float(decision.proactive_stall_s)
 
-            size_bytes = encoded.chunk_size_bytes(chunk_index, level)
+            if self.use_precompute:
+                size_bytes = self.precompute.chunk_size_bytes(chunk_index, level)
+                download_s = self.trace.download_time_s(size_bytes, wall_time)
+            else:
+                size_bytes = encoded.chunk_size_bytes(chunk_index, level)
+                download_s = self.trace.download_time_s_reference(
+                    size_bytes, wall_time
+                )
+            # Clamp: a degenerate trace may deliver the chunk in ~0 s, and the
+            # measured-throughput division must stay finite.
+            download_s = max(download_s, MIN_DOWNLOAD_DURATION_S)
             buffer_before = buffer.level_s
-            download_s = self.trace.download_time_s(size_bytes, wall_time)
             download_start = wall_time
             total_bytes += size_bytes
 
@@ -213,6 +264,7 @@ class StreamingSession:
                     played_s += drained
                     wall_time += overshoot
 
+            measured_mbps = size_bytes * 8.0 / 1e6 / download_s
             timeline.add_download(
                 DownloadRecord(
                     chunk_index=chunk_index,
@@ -220,12 +272,12 @@ class StreamingSession:
                     size_bytes=size_bytes,
                     start_time_s=download_start,
                     duration_s=download_s,
-                    throughput_mbps=size_bytes * 8.0 / 1e6 / download_s,
+                    throughput_mbps=measured_mbps,
                     buffer_before_s=buffer_before,
                     buffer_after_s=buffer.level_s,
                 )
             )
-            throughput_history.append(size_bytes * 8.0 / 1e6 / download_s)
+            throughput_history.append(measured_mbps)
             download_time_history.append(download_s)
 
         # Any proactive stall still pending applies before the remaining
@@ -329,37 +381,46 @@ class StreamingSession:
         chunk_index: int,
         buffer_s: float,
         last_level: int,
-        throughput_history: List[float],
-        download_time_history: List[float],
+        throughput_history,
+        download_time_history,
     ) -> PlayerObservation:
         horizon = min(
             self.config.observation_horizon, self.encoded.num_chunks - chunk_index
         )
-        sizes = np.stack(
-            [
-                self.encoded.chunks[chunk_index + offset].sizes_bytes
-                for offset in range(horizon)
-            ]
-        )
-        quality = np.stack(
-            [
-                self.encoded.chunks[chunk_index + offset].quality
-                for offset in range(horizon)
-            ]
-        )
+        if self.use_precompute:
+            # Sliced views of the per-video matrices; ring buffers already
+            # hold exactly the last ``history_length`` samples.
+            sizes, quality = self.precompute.upcoming(chunk_index, horizon)
+            throughput = throughput_history.as_array()
+            download_times = download_time_history.as_array()
+        else:
+            sizes = np.stack(
+                [
+                    self.encoded.chunks[chunk_index + offset].sizes_bytes
+                    for offset in range(horizon)
+                ]
+            )
+            quality = np.stack(
+                [
+                    self.encoded.chunks[chunk_index + offset].quality
+                    for offset in range(horizon)
+                ]
+            )
+            history_len = self.config.history_length
+            throughput = np.asarray(
+                throughput_history[-history_len:], dtype=float
+            )
+            download_times = np.asarray(
+                download_time_history[-history_len:], dtype=float
+            )
         weights = self.chunk_weights[chunk_index : chunk_index + horizon].copy()
-        history_len = self.config.history_length
         return PlayerObservation(
             chunk_index=chunk_index,
             num_chunks=self.encoded.num_chunks,
             buffer_s=buffer_s,
             last_level=last_level,
-            throughput_history_mbps=np.asarray(
-                throughput_history[-history_len:], dtype=float
-            ),
-            download_time_history_s=np.asarray(
-                download_time_history[-history_len:], dtype=float
-            ),
+            throughput_history_mbps=throughput,
+            download_time_history_s=download_times,
             upcoming_sizes_bytes=sizes,
             upcoming_quality=quality,
             upcoming_weights=weights,

@@ -2,12 +2,15 @@
 
 These wrap :class:`~repro.player.session.StreamingSession` so that the
 experiment harness and the examples can simulate an (ABR, video, trace)
-combination — or a whole grid of them — in one call.
+combination — or a whole grid of them — in one call.  Grid sweeps are
+delegated to the batch engine (:class:`~repro.engine.runner.BatchRunner`):
+the default serial backend reproduces the seed's sequential loop exactly,
+while a process-pool runner shards the grid across cores.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +26,7 @@ def simulate_session(
     trace: ThroughputTrace,
     config: Optional[SessionConfig] = None,
     chunk_weights: Optional[np.ndarray] = None,
+    use_precompute: bool = True,
 ) -> StreamResult:
     """Run one streaming session and return its result."""
     session = StreamingSession(
@@ -31,6 +35,7 @@ def simulate_session(
         abr=abr,
         config=config,
         chunk_weights=chunk_weights,
+        use_precompute=use_precompute,
     )
     return session.run()
 
@@ -41,6 +46,7 @@ def simulate_many(
     traces: Sequence[ThroughputTrace],
     config: Optional[SessionConfig] = None,
     weights_by_video: Optional[Dict[str, np.ndarray]] = None,
+    runner: Optional["BatchRunner"] = None,
 ) -> List[Tuple[str, str, str, StreamResult]]:
     """Simulate every (ABR, video, trace) combination.
 
@@ -48,17 +54,19 @@ def simulate_many(
     deterministic iteration order.  ``weights_by_video`` optionally supplies
     sensitivity weights per video id (used by SENSEI variants); other videos
     stream with uniform weights.
+
+    ``runner`` selects the execution backend; ``None`` uses the serial
+    :class:`~repro.engine.runner.BatchRunner`, which runs the grid in the
+    seed's iteration order.  Result ordering is identical for every backend.
     """
-    results: List[Tuple[str, str, str, StreamResult]] = []
-    weights_by_video = weights_by_video or {}
-    for abr in abrs:
-        for encoded in videos:
-            weights = weights_by_video.get(encoded.source.video_id)
-            for trace in traces:
-                result = simulate_session(
-                    abr, encoded, trace, config=config, chunk_weights=weights
-                )
-                results.append(
-                    (abr.name, encoded.source.video_id, trace.name, result)
-                )
-    return results
+    from repro.engine.runner import BatchRunner, orders_for_grid
+
+    runner = runner if runner is not None else BatchRunner()
+    keyed_orders = orders_for_grid(
+        abrs, videos, traces, config=config, weights_by_video=weights_by_video
+    )
+    results = runner.run_orders([order for _, order in keyed_orders])
+    return [
+        (key[0], key[1], key[2], result)
+        for (key, _), result in zip(keyed_orders, results)
+    ]

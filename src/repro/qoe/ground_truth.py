@@ -149,7 +149,19 @@ class GroundTruthOracle:
         bitrate_norm = rendered.bitrates_kbps() / top_bitrate
         num_chunks = bitrate_norm.size
         dips = np.empty(num_chunks)
-        for index in range(num_chunks):
+        # Full 7-chunk windows are vectorised; the clipped windows at the
+        # edges (fewer than 7 chunks) keep the scalar path.  Medians are
+        # identical to the per-index loop either way.
+        if num_chunks >= 7:
+            windows = np.lib.stride_tricks.sliding_window_view(bitrate_norm, 7)
+            interior = slice(3, num_chunks - 3)
+            dips[interior] = np.maximum(
+                0.0, np.median(windows, axis=1) - bitrate_norm[interior]
+            )
+            edge_indices = [*range(3), *range(num_chunks - 3, num_chunks)]
+        else:
+            edge_indices = range(num_chunks)
+        for index in edge_indices:
             lo = max(0, index - 3)
             hi = min(num_chunks, index + 4)
             local_reference = float(np.median(bitrate_norm[lo:hi]))
@@ -163,12 +175,7 @@ class GroundTruthOracle:
         # is memorable in its own right (a blurry goal moment), independent
         # of how long the video is.
         top_level = rendered.encoded.ladder.highest_level
-        best_quality = np.array(
-            [
-                rendered.encoded.chunk_quality(i, top_level)
-                for i in range(num_chunks)
-            ]
-        )
+        best_quality = rendered.encoded.quality_matrix()[:, top_level]
         quality_shortfall = (best_quality - rendered.quality_curve()) / 100.0
         key_quality_penalty = (
             params.key_quality_salience

@@ -73,6 +73,19 @@ class EncodedVideo:
                 "encoded chunk does not match ladder",
             )
 
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        Derived caches (underscore attributes, e.g. the cached size/quality
+        matrices and the engine's per-video ``SessionPrecompute``) are
+        rebuildable on the other side and would otherwise bloat every
+        work-order/result pickle the process-pool runner ships between
+        processes.
+        """
+        from repro.utils.pickling import public_state
+
+        return public_state(self)
+
     # ----------------------------------------------------------- accessors
 
     @property
@@ -96,12 +109,30 @@ class EncodedVideo:
         return float(self.chunks[chunk_index].quality[level])
 
     def sizes_matrix(self) -> np.ndarray:
-        """(num_chunks, num_levels) matrix of sizes in bytes."""
-        return np.stack([c.sizes_bytes for c in self.chunks])
+        """(num_chunks, num_levels) matrix of sizes in bytes.
+
+        Stacked once per video and cached **read-only** — every consumer
+        (sessions, QoE scoring, manifests) reads the same matrix.
+        """
+        cached = self.__dict__.get("_sizes_matrix")
+        if cached is None:
+            cached = np.stack([c.sizes_bytes for c in self.chunks])
+            cached.setflags(write=False)
+            self._sizes_matrix = cached
+        return cached
 
     def quality_matrix(self) -> np.ndarray:
-        """(num_chunks, num_levels) matrix of VMAF-like quality scores."""
-        return np.stack([c.quality for c in self.chunks])
+        """(num_chunks, num_levels) matrix of VMAF-like quality scores.
+
+        Stacked once per video and cached **read-only**, like
+        :meth:`sizes_matrix`.
+        """
+        cached = self.__dict__.get("_quality_matrix")
+        if cached is None:
+            cached = np.stack([c.quality for c in self.chunks])
+            cached.setflags(write=False)
+            self._quality_matrix = cached
+        return cached
 
     def next_chunk_sizes(self, chunk_index: int) -> np.ndarray:
         """Sizes (bytes per level) of the chunk at ``chunk_index``; the

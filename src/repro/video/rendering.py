@@ -143,7 +143,8 @@ class RenderedVideo:
 
     def bitrates_kbps(self) -> np.ndarray:
         """Bitrate per chunk in kbps."""
-        return np.array([self.bitrate_kbps(i) for i in range(self.num_chunks)])
+        ladder_rates = np.asarray(self.encoded.ladder.bitrates_kbps, dtype=float)
+        return ladder_rates[np.asarray(self.levels, dtype=int)]
 
     def chunk_quality(self, chunk_index: int) -> float:
         """VMAF-like visual quality of a chunk as played."""
@@ -151,7 +152,8 @@ class RenderedVideo:
 
     def quality_curve(self) -> np.ndarray:
         """Visual quality per chunk as played (0-100)."""
-        return np.array([self.chunk_quality(i) for i in range(self.num_chunks)])
+        levels = np.asarray(self.levels, dtype=int)
+        return self.encoded.quality_matrix()[np.arange(levels.size), levels]
 
     def total_stall_s(self) -> float:
         """Total rebuffering time excluding startup delay."""

@@ -149,12 +149,23 @@ class TestThroughputPredictors:
         assert total == pytest.approx(1.0)
         assert all(rate > 0 for rate, _ in scenarios)
 
+    def test_error_distribution_cold_start_covers_all_bins(self):
+        # Regression: the seed truncated the 5-entry cold-start template,
+        # silently dropping probability mass for num_bins > 5.
+        for num_bins in (3, 5, 7, 9):
+            predictor = ErrorDistributionPredictor(num_bins=num_bins)
+            scenarios = predictor.predict_distribution(make_observation())
+            assert len(scenarios) == num_bins
+            assert sum(p for _, p in scenarios) == pytest.approx(1.0)
+            assert all(p > 0 for _, p in scenarios)
+
     def test_error_distribution_reset(self):
         predictor = ErrorDistributionPredictor()
         predictor.predict(make_observation())
         predictor.predict(make_observation())
         predictor.reset()
-        assert predictor._observed_ratios == []
+        assert predictor._num_ratios == 0
+        assert not predictor._bin_counts.any()
 
 
 class TestPlanner:
@@ -176,6 +187,8 @@ class TestPlanner:
         )
         assert evaluation.best_level == 4
         assert evaluation.expected_rebuffer_s == pytest.approx(0.0)
+        # One stall option x one scenario: the count is the candidate count.
+        assert evaluation.num_candidates == candidates.shape[0]
 
     def test_evaluation_avoids_rebuffering_when_bandwidth_scarce(self):
         obs = make_observation(buffer_s=4.0, last_level=0)
@@ -206,6 +219,18 @@ class TestPlanner:
             stall_options_s=(0.0, 2.0),
         )
         assert evaluation.best_stall_s == 0.0
+        # num_candidates reports the full evaluated cross product:
+        # candidates x stall options x throughput scenarios.
+        assert evaluation.num_candidates == candidates.shape[0] * 2
+
+    def test_num_candidates_counts_scenarios(self):
+        obs = make_observation()
+        candidates = enumerate_level_sequences(5, 2)
+        scenarios = [(0.8, 0.25), (1.2, 0.5), (2.0, 0.25)]
+        evaluation = evaluate_candidates(
+            obs, candidates, scenarios, KSQIModel(), stall_options_s=(0.0, 1.0)
+        )
+        assert evaluation.num_candidates == candidates.shape[0] * 2 * 3
 
 
 class TestMPCAndFugu:

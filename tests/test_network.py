@@ -40,6 +40,83 @@ class TestThroughputTrace:
         with pytest.raises(ValueError):
             constant_trace.download_time_s(0.0, 0.0)
 
+    def test_trace_arrays_frozen_against_desync(self, constant_trace):
+        """In-place mutation would desync the cached download-time index."""
+        with pytest.raises(ValueError):
+            constant_trace.bandwidths_mbps[0] = 99.0
+        with pytest.raises(ValueError):
+            constant_trace.timestamps_s[0] = 1.0
+
+    def test_pickle_drops_index_and_refreezes(self, constant_trace):
+        """Work-order pickles ship only the declared fields; the clone
+        re-derives its index and its arrays come back read-only."""
+        import pickle
+
+        payload = pickle.dumps(constant_trace)
+        assert b"_cum_capacity_bits" not in payload
+        clone = pickle.loads(payload)
+        assert clone.download_time_s(1_000_000, 0.0) == pytest.approx(
+            constant_trace.download_time_s(1_000_000, 0.0)
+        )
+        with pytest.raises(ValueError):
+            clone.bandwidths_mbps[0] = 99.0
+
+    def test_fast_integrator_matches_reference_walk(self):
+        """The indexed download-time fast path must agree with the seed's
+        segment-by-segment reference integrator away from the walk's
+        knife-edge boundary epsilon (see the characterization test below)."""
+        from repro.network.bank import TraceBank
+
+        rng = np.random.default_rng(3)
+        traces = TraceBank(num_traces=3, duration_s=300.0, seed=23).traces()
+        traces.append(ThroughputTrace.from_samples([(0.0, 0.5)], name="single"))
+        for trace in traces:
+            for _ in range(60):
+                size = float(rng.uniform(5e3, 8e6))
+                start = float(rng.uniform(0.0, 4.0 * trace.duration_s))
+                fast = trace.download_time_s(size, start)
+                reference = trace.download_time_s_reference(size, start)
+                assert fast == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+    def test_fast_integrator_is_exact_at_reference_knife_edge(self):
+        """Characterization: at knife-edge wraps the seed walk's 1e-12
+        boundary epsilon charges a window at the previous segment's rate;
+        the indexed fast path returns the exact piecewise integral."""
+        from fractions import Fraction as F
+
+        trace = ThroughputTrace(
+            timestamps_s=np.array([0.0, 0.5, 0.6, 10.0]),
+            bandwidths_mbps=np.array([5.0, 0.01, 20.0, 0.5]),
+            name="uneven",
+        )
+        size_bytes, start = 33041341.75, 88.338
+        # Exact integral in rational arithmetic (duration = 10 + median
+        # spacing 0.5; per-segment capacities summed cycle by cycle).
+        ts = [F(0), F(1, 2), F(3, 5), F(10)]
+        duration = F(21, 2)
+        rates = [F(5) * 10**6, F(1, 100) * 10**6, F(20) * 10**6, F(1, 2) * 10**6]
+        ends = ts[1:] + [duration]
+        caps = [r * (e - s) for r, s, e in zip(rates, ts, ends)]
+        wrapped = F(88338, 1000) % duration
+        seg = max(i for i in range(4) if ts[i] <= wrapped)
+        bits_before = sum(caps[:seg]) + rates[seg] * (wrapped - ts[seg])
+        target = bits_before + F(3304134175, 100) * 8
+        full_cycles, within = divmod(target, sum(caps))
+        cum = F(0)
+        for j in range(4):
+            if cum + caps[j] >= within:
+                end_time = ts[j] + (within - cum) / rates[j]
+                break
+            cum += caps[j]
+        exact = float(full_cycles * duration + end_time - wrapped)
+
+        fast = trace.download_time_s(size_bytes, start)
+        reference = trace.download_time_s_reference(size_bytes, start)
+        assert fast == pytest.approx(exact, rel=1e-9)
+        # The seed walk overshoots by an order of magnitude here — kept as
+        # documentation of the divergence, not as desired behaviour.
+        assert reference > 10 * fast
+
     def test_scaled(self, constant_trace):
         assert constant_trace.scaled(0.5).mean_mbps == pytest.approx(1.0)
 
