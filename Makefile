@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench bench-training train
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -14,3 +14,11 @@ test-fast:
 ## Perf harness: measures the engine and writes BENCH_engine.json.
 bench:
 	$(PYTHON) -m pytest benchmarks/test_perf_engine.py -v -s
+
+## Training perf harness: episodes/sec per backend -> BENCH_training.json.
+bench-training:
+	$(PYTHON) -m pytest benchmarks/test_perf_training.py -v -s
+
+## Quick-scale RL training: curriculum -> checkpoints/ -> ABR grid.
+train:
+	$(PYTHON) examples/train_pensieve.py

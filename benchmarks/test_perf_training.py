@@ -1,0 +1,109 @@
+"""Perf harness for the RL training subsystem.
+
+Measures experience-collection throughput — episodes/sec and decisions/sec
+through the rollout collector — on the serial and process backends, and
+writes the numbers to ``BENCH_training.json`` at the repo root so the
+training-throughput trajectory is tracked from PR to PR (the companion of
+``BENCH_engine.json`` for the simulation engine).
+
+Run via ``make bench-training`` or
+``PYTHONPATH=src python -m pytest benchmarks/test_perf_training.py -v``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.sensei_abr import make_sensei_pensieve
+from repro.engine.runner import BatchRunner
+from repro.network.bank import TraceBank
+from repro.qoe.ground_truth import GroundTruthOracle
+from repro.training import CurriculumConfig, RolloutCollector, ScenarioCurriculum
+from repro.video.library import VideoLibrary
+
+#: Written at the repo root; tracked in version control as the perf record.
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+#: Episodes measured per backend.
+EPISODES = 24
+
+
+@pytest.fixture(scope="module")
+def training_setup():
+    """A curriculum over two library videos and a small trace bank."""
+    library = VideoLibrary(seed=7)
+    videos = [library.encoded("soccer1"), library.encoded("fps1")]
+    oracle = GroundTruthOracle()
+    weights = {
+        video.source.video_id: oracle.normalized_sensitivity(video.source)
+        for video in videos
+    }
+    curriculum = ScenarioCurriculum(
+        videos,
+        TraceBank(num_traces=4, duration_s=600.0, seed=11).traces(),
+        weights_by_video=weights,
+        config=CurriculumConfig(trace_duration_s=600.0, seed=29),
+    )
+    return curriculum, make_sensei_pensieve(seed=47)
+
+
+@pytest.mark.benchmark(group="training")
+@pytest.mark.slow
+def test_collection_throughput_serial_vs_process(training_setup):
+    """Episodes/sec through the collector, per backend, -> BENCH_training.json."""
+    curriculum, abr = training_setup
+    specs = curriculum.training_specs(EPISODES, round_index=0)
+
+    backends = {
+        "serial": BatchRunner(backend="serial"),
+        "process": BatchRunner(
+            backend="process", max_workers=os.cpu_count(), chunksize=1
+        ),
+    }
+    rates = {}
+    decisions = {}
+    reference = None
+    for name, runner in backends.items():
+        collector = RolloutCollector(runner=runner, shard_size=4)
+        # Warms the session precompute / plan caches.  The process pool is
+        # NOT warmable: map_ordered spins up a fresh executor per call, so
+        # the timed number below includes pool spawn — the cost every
+        # training round actually pays.
+        collector.collect(abr, specs[:2])
+        t0 = time.perf_counter()
+        rollouts = collector.collect(abr, specs)
+        elapsed = time.perf_counter() - t0
+        steps = sum(rollout.num_steps for rollout in rollouts)
+        rates[name] = round(len(rollouts) / elapsed, 2)
+        decisions[name] = round(steps / elapsed, 1)
+        print(
+            f"\n{name}: {len(rollouts)} episodes in {elapsed:.2f}s "
+            f"({rates[name]:.1f} episodes/s, {decisions[name]:.0f} decisions/s)"
+        )
+        # Whatever the backend, the experience must be identical.
+        actions = [rollout.actions.tolist() for rollout in rollouts]
+        if reference is None:
+            reference = actions
+        else:
+            assert actions == reference
+
+    payload = {
+        "episodes": EPISODES,
+        "episodes_per_sec": rates,
+        "decisions_per_sec": decisions,
+        "process_speedup": round(rates["process"] / rates["serial"], 2),
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {REPORT_PATH}")
+    assert all(rate > 0 for rate in rates.values())

@@ -75,6 +75,9 @@ class PensieveABR(ABRAlgorithm):
     """Actor–critic ABR agent with a Pensieve-style state encoding."""
 
     name = "Pensieve"
+    #: Stable identifier used by the checkpoint store to rebuild the right
+    #: policy class on load (see :mod:`repro.training.checkpoint`).
+    policy_kind = "pensieve"
 
     def __init__(
         self,

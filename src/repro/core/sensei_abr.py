@@ -166,6 +166,7 @@ class SenseiPensieveABR(PensieveABR):
     """
 
     name = "SENSEI-Pensieve"
+    policy_kind = "sensei-pensieve"
 
     def __init__(
         self,

@@ -185,6 +185,66 @@ class ExperimentContext:
         """Fresh SENSEI-Fugu instance."""
         return SenseiFuguABR()
 
+    def training_curriculum(self, config=None) -> "ScenarioCurriculum":
+        """A scenario curriculum over this context's videos, traces and
+        (profiled) weights — the episode source for the training subsystem.
+
+        ``config`` is an optional
+        :class:`~repro.training.curriculum.CurriculumConfig`.
+        """
+        from repro.training.curriculum import ScenarioCurriculum
+
+        return ScenarioCurriculum(
+            videos=self.videos(),
+            bank_traces=self.traces(),
+            weights_by_video=self.weights_by_video(),
+            config=config,
+        )
+
+    def install_trained_agents(
+        self,
+        pensieve: Optional[PensieveABR] = None,
+        sensei_pensieve: Optional[SenseiPensieveABR] = None,
+    ) -> None:
+        """Adopt externally trained policies (e.g. loaded checkpoints).
+
+        Installed agents are what :meth:`trained_pensieve` /
+        :meth:`trained_sensei_pensieve` return, so every figure that takes
+        ``include_pensieve=True`` evaluates the installed policies instead
+        of training ad hoc ones.
+        """
+        if pensieve is not None:
+            require(
+                isinstance(pensieve, PensieveABR)
+                and not isinstance(pensieve, SenseiPensieveABR),
+                "pensieve must be a (non-SENSEI) PensieveABR",
+            )
+            self._trained_pensieve = pensieve
+        if sensei_pensieve is not None:
+            require(
+                isinstance(sensei_pensieve, SenseiPensieveABR),
+                "sensei_pensieve must be a SenseiPensieveABR",
+            )
+            self._trained_sensei_pensieve = sensei_pensieve
+
+    def load_trained_agents(
+        self,
+        store: "CheckpointStore",
+        pensieve: Optional[str] = None,
+        sensei_pensieve: Optional[str] = None,
+    ) -> None:
+        """Load checkpoints by name from a
+        :class:`~repro.training.checkpoint.CheckpointStore` and install them
+        into this context's ABR grids."""
+        self.install_trained_agents(
+            pensieve=store.load(pensieve) if pensieve is not None else None,
+            sensei_pensieve=(
+                store.load(sensei_pensieve)
+                if sensei_pensieve is not None
+                else None
+            ),
+        )
+
     def trained_pensieve(self) -> PensieveABR:
         """Pensieve agent trained on this context's videos and traces."""
         if self._trained_pensieve is None:

@@ -58,6 +58,38 @@ class AdamOptimizer:
         self._second_moment: Dict[str, np.ndarray] = {}
         self._step = 0
 
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Serialisable optimiser state (moments, step count, learning rate).
+
+        Every entry is a NumPy array so the whole dict can go straight into
+        ``np.savez``; ``prefix`` namespaces the keys when several optimisers
+        share one archive (e.g. actor and critic in a checkpoint).
+        """
+        state: Dict[str, np.ndarray] = {
+            f"{prefix}step": np.array(self._step, dtype=np.int64),
+            f"{prefix}learning_rate": np.array(self.learning_rate),
+        }
+        for name, value in self._first_moment.items():
+            state[f"{prefix}m/{name}"] = value.copy()
+        for name, value in self._second_moment.items():
+            state[f"{prefix}v/{name}"] = value.copy()
+        return state
+
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], prefix: str = ""
+    ) -> None:
+        """Restore state produced by :meth:`state_dict` (same ``prefix``)."""
+        require(f"{prefix}step" in state, f"missing optimizer key {prefix}step")
+        self._step = int(state[f"{prefix}step"])
+        self.learning_rate = float(state[f"{prefix}learning_rate"])
+        self._first_moment = {}
+        self._second_moment = {}
+        for key, value in state.items():
+            if key.startswith(f"{prefix}m/"):
+                self._first_moment[key[len(prefix) + 2:]] = np.array(value)
+            elif key.startswith(f"{prefix}v/"):
+                self._second_moment[key[len(prefix) + 2:]] = np.array(value)
+
     def update(
         self, parameters: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
     ) -> None:
@@ -157,4 +189,30 @@ class MLP:
     def copy_parameters_from(self, other: "MLP") -> None:
         """Copy parameters from another MLP of the same shape."""
         for name, value in other.parameters.items():
+            self.parameters[name] = value.copy()
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Copies of all parameter arrays, keys optionally prefixed."""
+        return {
+            f"{prefix}{name}": value.copy()
+            for name, value in self.parameters.items()
+        }
+
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], prefix: str = ""
+    ) -> None:
+        """Restore parameters saved by :meth:`state_dict` (same ``prefix``).
+
+        Shapes must match the network's architecture; extra keys outside the
+        prefix are ignored so one archive can hold several networks.
+        """
+        for name, current in self.parameters.items():
+            key = f"{prefix}{name}"
+            require(key in state, f"missing parameter {key}")
+            value = np.asarray(state[key], dtype=float)
+            require(
+                value.shape == current.shape,
+                f"parameter {key} has shape {value.shape}, "
+                f"expected {current.shape}",
+            )
             self.parameters[name] = value.copy()

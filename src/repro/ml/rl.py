@@ -58,6 +58,33 @@ class EpisodeBuffer:
     def __len__(self) -> int:
         return len(self.states)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+    ) -> "EpisodeBuffer":
+        """Rebuild a buffer from stacked trajectory arrays.
+
+        The rollout collector ships episodes between processes as three
+        arrays (cheaper to pickle than lists of row vectors); this is the
+        receiving end.
+        """
+        states = np.asarray(states, dtype=float)
+        actions = np.asarray(actions, dtype=int)
+        rewards = np.asarray(rewards, dtype=float)
+        require(states.ndim == 2, "states must be a (steps, state_dim) matrix")
+        require(
+            states.shape[0] == actions.shape[0] == rewards.shape[0],
+            "trajectory arrays must have one row per step",
+        )
+        buffer = cls()
+        buffer.states = list(states)
+        buffer.actions = [int(action) for action in actions]
+        buffer.rewards = [float(reward) for reward in rewards]
+        return buffer
+
     def discounted_returns(self, discount: float) -> np.ndarray:
         """Discounted return from every step to the end of the episode."""
         returns = np.zeros(len(self.rewards))
@@ -84,6 +111,73 @@ class ActorCriticAgent:
         self._critic_optimizer = AdamOptimizer(config.critic_learning_rate)
         self._rng = rng_from_seed(config.seed + 2)
         self._entropy_weight = config.entropy_weight
+
+    # ---------------------------------------------------------------- seeding
+
+    def reseed_exploration(self, seed: int) -> None:
+        """Reset the exploration stream to a fresh, fully determined state.
+
+        The constructor-seeded stream makes an episode's actions depend on
+        how many samples every *earlier* episode consumed, so a rollout
+        worker could never reproduce its episodes from a work-order seed
+        alone.  Reseeding immediately before each episode makes the episode
+        a pure function of (parameters, episode seed) — the property the
+        parallel collector's serial ≡ pool guarantee rests on.
+        """
+        self._rng = rng_from_seed(int(seed))
+
+    # ------------------------------------------------------------- schedules
+
+    @property
+    def entropy_weight(self) -> float:
+        """Current entropy-bonus coefficient (decays during training)."""
+        return self._entropy_weight
+
+    def set_entropy_weight(self, weight: float) -> None:
+        """Override the entropy coefficient (trainer-driven schedules)."""
+        require(weight >= 0, "entropy weight must be >= 0")
+        self._entropy_weight = float(weight)
+
+    @property
+    def learning_rates(self) -> Tuple[float, float]:
+        """Current (actor, critic) learning rates."""
+        return (
+            self._actor_optimizer.learning_rate,
+            self._critic_optimizer.learning_rate,
+        )
+
+    def set_learning_rates(self, actor_lr: float, critic_lr: float) -> None:
+        """Override both learning rates (trainer-driven LR decay)."""
+        require(actor_lr > 0 and critic_lr > 0, "learning rates must be > 0")
+        self._actor_optimizer.learning_rate = float(actor_lr)
+        self._critic_optimizer.learning_rate = float(critic_lr)
+
+    # ------------------------------------------------------------ checkpoint
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Complete learnable state as a flat ``name -> array`` mapping.
+
+        Covers actor and critic parameters plus both Adam optimisers'
+        moments/step counts and the current entropy weight, so that loading
+        the dict into a fresh agent resumes training bit-for-bit.  All
+        values are NumPy arrays (``np.savez``-ready).
+        """
+        state: Dict[str, np.ndarray] = {}
+        state.update(self.actor.state_dict(prefix="actor/"))
+        state.update(self.critic.state_dict(prefix="critic/"))
+        state.update(self._actor_optimizer.state_dict(prefix="actor_opt/"))
+        state.update(self._critic_optimizer.state_dict(prefix="critic_opt/"))
+        state["entropy_weight"] = np.array(self._entropy_weight)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self.actor.load_state_dict(state, prefix="actor/")
+        self.critic.load_state_dict(state, prefix="critic/")
+        self._actor_optimizer.load_state_dict(state, prefix="actor_opt/")
+        self._critic_optimizer.load_state_dict(state, prefix="critic_opt/")
+        require("entropy_weight" in state, "missing entropy_weight")
+        self._entropy_weight = float(state["entropy_weight"])
 
     # ----------------------------------------------------------------- acting
 

@@ -1,0 +1,164 @@
+"""Checkpointed policies: versioned on-disk snapshots of trained agents.
+
+A checkpoint is a directory ``<root>/<name>/`` holding
+
+* ``state.npz``     — the agent's full learnable state (actor + critic
+  parameters, both Adam optimisers' moments/steps, entropy weight), exactly
+  the dict :meth:`~repro.ml.rl.ActorCriticAgent.state_dict` returns;
+* ``metadata.json`` — the format version, the policy kind (which class to
+  rebuild), the structural :class:`~repro.abr.pensieve.PensieveConfig`,
+  the number of training episodes applied, a monotonically increasing save
+  index, and any caller-supplied metrics.
+
+Loading rebuilds the policy class registered under the saved kind and
+restores the state dict, so a reloaded agent makes bit-identical decisions
+*and* resumes training bit-identically (optimiser state included).  Loaded
+policies drop straight into the experiment grids — see
+:meth:`repro.experiments.common.ExperimentContext.install_trained_agents`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.abr.pensieve import PensieveABR, PensieveConfig
+from repro.training.collector import build_policy
+from repro.utils.validation import require
+
+#: Bump when the on-disk layout changes incompatibly; loaders refuse newer
+#: formats with a clear error instead of misreading them.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_STATE_FILE = "state.npz"
+_METADATA_FILE = "metadata.json"
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """What :meth:`CheckpointStore.save` returns and ``describe`` reports."""
+
+    name: str
+    path: Path
+    kind: str
+    trained_episodes: int
+    save_index: int
+    metrics: Dict[str, float]
+
+
+def _config_to_jsonable(config: PensieveConfig) -> dict:
+    payload = asdict(config)
+    payload["hidden_dims"] = list(config.hidden_dims)
+    payload["stall_actions_s"] = list(config.stall_actions_s)
+    return payload
+
+
+def _config_from_jsonable(payload: dict) -> PensieveConfig:
+    return PensieveConfig(
+        history_length=int(payload["history_length"]),
+        num_levels=int(payload["num_levels"]),
+        weight_horizon=int(payload["weight_horizon"]),
+        stall_actions_s=tuple(float(s) for s in payload["stall_actions_s"]),
+        hidden_dims=tuple(int(h) for h in payload["hidden_dims"]),
+        seed=int(payload["seed"]),
+    )
+
+
+class CheckpointStore:
+    """Saves and loads named policy checkpoints under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ save
+
+    def save(
+        self,
+        abr: PensieveABR,
+        name: str,
+        metrics: Optional[Dict[str, float]] = None,
+    ) -> CheckpointInfo:
+        """Persist a policy under ``name`` (overwriting any previous save)."""
+        require(bool(name) and "/" not in name and name not in (".", ".."),
+                f"invalid checkpoint name {name!r}")
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        state = abr.agent.state_dict()
+        np.savez(directory / _STATE_FILE, **state)
+        metadata = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": abr.policy_kind,
+            "config": _config_to_jsonable(abr.config),
+            "trained_episodes": abr.trained_episodes,
+            "save_index": self._next_save_index(),
+            "metrics": dict(metrics or {}),
+        }
+        (directory / _METADATA_FILE).write_text(
+            json.dumps(metadata, indent=2, sort_keys=True) + "\n"
+        )
+        return self._info(name, metadata)
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, name: str) -> PensieveABR:
+        """Rebuild the policy saved under ``name``."""
+        metadata = self.metadata(name)
+        version = int(metadata["format_version"])
+        require(
+            version <= CHECKPOINT_FORMAT_VERSION,
+            f"checkpoint {name!r} has format version {version}; "
+            f"this build reads up to {CHECKPOINT_FORMAT_VERSION}",
+        )
+        config = _config_from_jsonable(metadata["config"])
+        abr = build_policy(metadata["kind"], config)
+        with np.load(self.root / name / _STATE_FILE) as archive:
+            state = {key: archive[key] for key in archive.files}
+        abr.agent.load_state_dict(state)
+        abr.record_training(int(metadata["trained_episodes"]))
+        return abr
+
+    def metadata(self, name: str) -> dict:
+        """Raw metadata of a checkpoint."""
+        path = self.root / name / _METADATA_FILE
+        require(path.exists(), f"no checkpoint named {name!r} in {self.root}")
+        return json.loads(path.read_text())
+
+    def describe(self, name: str) -> CheckpointInfo:
+        """Structured summary of a checkpoint."""
+        return self._info(name, self.metadata(name))
+
+    # ----------------------------------------------------------------- query
+
+    def names(self) -> List[str]:
+        """All checkpoint names, sorted alphabetically."""
+        return sorted(
+            path.parent.name for path in self.root.glob(f"*/{_METADATA_FILE}")
+        )
+
+    def latest(self) -> Optional[str]:
+        """The most recently saved checkpoint name (by save index)."""
+        names = self.names()
+        if not names:
+            return None
+        return max(names, key=lambda name: self.metadata(name)["save_index"])
+
+    # ------------------------------------------------------------- internals
+
+    def _info(self, name: str, metadata: dict) -> CheckpointInfo:
+        return CheckpointInfo(
+            name=name,
+            path=self.root / name,
+            kind=str(metadata["kind"]),
+            trained_episodes=int(metadata["trained_episodes"]),
+            save_index=int(metadata["save_index"]),
+            metrics=dict(metadata.get("metrics", {})),
+        )
+
+    def _next_save_index(self) -> int:
+        indices = [self.metadata(name)["save_index"] for name in self.names()]
+        return (max(indices) + 1) if indices else 0

@@ -1,0 +1,195 @@
+"""Parallel experience collection on the batch engine.
+
+Pensieve's A3C design runs many rollout workers against a shared learner.
+The reproduction's equivalent is *synchronous*: each training round ships a
+frozen :class:`PolicySnapshot` plus a shard of seeded
+:class:`~repro.training.curriculum.EpisodeSpec`s to every worker, workers
+simulate their episodes independently, and the learner applies all updates
+in deterministic spec order.  Because an episode is a pure function of
+(snapshot parameters, spec seed) — see
+:meth:`~repro.ml.rl.ActorCriticAgent.reseed_exploration` — and the
+:class:`~repro.engine.runner.BatchRunner` preserves submission order, the
+serial and process backends produce byte-identical experience, and
+therefore byte-identical trained policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.pensieve import PensieveABR, PensieveConfig
+from repro.engine.runner import BatchRunner
+from repro.training.curriculum import EpisodeSpec
+from repro.utils.validation import require
+
+
+@dataclass
+class PolicySnapshot:
+    """A frozen, picklable copy of a policy: config + network parameters.
+
+    Only what a worker needs to *act* is shipped — actor/critic parameters
+    and the structural config.  Optimiser state stays with the learner.
+    """
+
+    kind: str
+    config: PensieveConfig
+    actor_state: Dict[str, np.ndarray]
+    critic_state: Dict[str, np.ndarray]
+
+    @classmethod
+    def of(cls, abr: PensieveABR) -> "PolicySnapshot":
+        """Snapshot a live policy."""
+        return cls(
+            kind=abr.policy_kind,
+            config=abr.config,
+            actor_state=abr.agent.actor.state_dict(),
+            critic_state=abr.agent.critic.state_dict(),
+        )
+
+    def build(self) -> PensieveABR:
+        """Materialise a fresh policy carrying the snapshot's parameters."""
+        abr = build_policy(self.kind, self.config)
+        abr.agent.actor.load_state_dict(self.actor_state)
+        abr.agent.critic.load_state_dict(self.critic_state)
+        return abr
+
+
+def build_policy(kind: str, config: PensieveConfig) -> PensieveABR:
+    """Construct the policy class registered under ``kind``."""
+    # Imported here: repro.core imports repro.abr, so a module-level import
+    # would be circular if core ever grew a training dependency.
+    from repro.core.sensei_abr import SenseiPensieveABR
+
+    classes = {
+        PensieveABR.policy_kind: PensieveABR,
+        SenseiPensieveABR.policy_kind: SenseiPensieveABR,
+    }
+    require(kind in classes, f"unknown policy kind {kind!r}")
+    return classes[kind](config=config)
+
+
+@dataclass
+class EpisodeRollout:
+    """One collected episode: stacked trajectory arrays plus bookkeeping.
+
+    ``rewards`` are the per-decision rewards (sensitivity-weighted KSQI
+    chunk scores); ``mean_reward`` summarises the episode for monitoring.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    regime: str
+    seed: int
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.states.shape[0])
+
+    @property
+    def mean_reward(self) -> float:
+        return float(np.mean(self.rewards)) if self.rewards.size else 0.0
+
+
+@dataclass
+class RolloutShard:
+    """The unit of work shipped to one collector worker."""
+
+    snapshot: PolicySnapshot
+    specs: Tuple[EpisodeSpec, ...]
+
+
+def collect_shard(shard: RolloutShard) -> List[EpisodeRollout]:
+    """Simulate every episode of a shard (module-level: must pickle).
+
+    Rebuilds the policy from the snapshot, then, for each spec, reseeds the
+    exploration stream from the spec seed and streams the episode with the
+    same player the evaluation uses.  Rewards are the quality model's chunk
+    scores, reweighted by the spec's sensitivity weights (Eq. 4's training
+    signal for SENSEI-Pensieve).
+    """
+    # simulate_session lives behind a lazy import for the same reason the
+    # seed trainer's did: the player package imports the ABR base module.
+    from repro.player.simulator import simulate_session
+
+    abr = shard.snapshot.build()
+    abr.greedy = False
+    quality_model = abr.quality_model
+    rollouts: List[EpisodeRollout] = []
+    for spec in shard.specs:
+        abr.agent.reseed_exploration(spec.seed)
+        abr.begin_capture()
+        result = simulate_session(
+            abr, spec.encoded, spec.trace, chunk_weights=spec.chunk_weights
+        )
+        trajectory = abr.end_capture()
+        chunk_scores = quality_model.chunk_scores(result.rendered)
+        if spec.chunk_weights is not None:
+            chunk_scores = np.asarray(spec.chunk_weights, dtype=float) * chunk_scores
+        require(
+            len(trajectory) == chunk_scores.shape[0],
+            "one decision per chunk expected",
+        )
+        states = np.stack([state for state, _ in trajectory])
+        actions = np.asarray([action for _, action in trajectory], dtype=int)
+        rollouts.append(
+            EpisodeRollout(
+                states=states,
+                actions=actions,
+                rewards=np.asarray(chunk_scores, dtype=float),
+                regime=spec.regime,
+                seed=spec.seed,
+            )
+        )
+    return rollouts
+
+
+class RolloutCollector:
+    """Shards episode specs over a :class:`BatchRunner` and merges in order.
+
+    Parameters
+    ----------
+    runner:
+        Execution backend; the default serial runner reproduces the pool
+        results exactly (and vice versa).
+    shard_size:
+        Episodes per work order.  Larger shards amortise the per-order
+        snapshot pickling on the process backend; 4 keeps orders small
+        enough that a quick-scale round still spreads over all workers.
+    """
+
+    def __init__(
+        self, runner: Optional[BatchRunner] = None, shard_size: int = 4
+    ) -> None:
+        require(shard_size >= 1, "shard_size must be >= 1")
+        self.runner = runner if runner is not None else BatchRunner()
+        self.shard_size = int(shard_size)
+
+    def collect(
+        self, abr: PensieveABR, specs: Sequence[EpisodeSpec]
+    ) -> List[EpisodeRollout]:
+        """Collect one episode per spec; results align with ``specs``.
+
+        The policy is snapshotted once, so every shard acts with identical
+        parameters no matter when its worker runs — the synchronous-A2C
+        contract that makes results backend-independent.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        snapshot = PolicySnapshot.of(abr)
+        shards = [
+            RolloutShard(
+                snapshot=snapshot,
+                specs=tuple(specs[start : start + self.shard_size]),
+            )
+            for start in range(0, len(specs), self.shard_size)
+        ]
+        per_shard = self.runner.map_ordered(collect_shard, shards)
+        merged: List[EpisodeRollout] = []
+        for rollouts in per_shard:
+            merged.extend(rollouts)
+        return merged
