@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench bench-training train
+.PHONY: test test-fast bench bench-training train figures list
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -19,6 +19,16 @@ bench:
 bench-training:
 	$(PYTHON) -m pytest benchmarks/test_perf_training.py -v -s
 
-## Quick-scale RL training: curriculum -> checkpoints/ -> ABR grid.
+## The experiment catalogue (spec/registry CLI).
+list:
+	$(PYTHON) -m repro list
+
+## Quick-scale figure sweep through the unified CLI; identical re-runs are
+## served from results/ (content-addressed), interrupted grids resume.
+figures:
+	$(PYTHON) -m repro run fig03 fig04 fig12a fig13 fig14 headline \
+	    --scale quick --backend auto --results results
+
+## RL training: curriculum -> checkpoints/ -> checkpoint-backed ABR grid.
 train:
-	$(PYTHON) examples/train_pensieve.py
+	$(PYTHON) -m repro train

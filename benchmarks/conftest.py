@@ -11,15 +11,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import ExperimentContext, ExperimentScale
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import context_for
+from repro.experiments.spec import ExperimentSpec
 
 # The ``benchmark`` and ``slow`` markers are registered in pytest.ini.
 
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
-    """Quick-scale experiment context shared by all benchmarks."""
-    return ExperimentContext(scale=ExperimentScale.quick(), seed=7)
+    """Quick-scale experiment context shared by all benchmarks, built from
+    the same declarative spec path the CLI uses (only scale/seed matter
+    here; the experiment name is per-test)."""
+    return context_for(ExperimentSpec(experiment="benchmarks", scale="quick", seed=7))
 
 
 def print_table(title: str, rows) -> None:

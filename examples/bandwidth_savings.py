@@ -1,86 +1,24 @@
 """Bandwidth-savings scenario: same QoE with less bandwidth (§7.2, Fig. 12b).
 
-A content provider question: if viewers are equally happy, how much less
-bandwidth does sensitivity-aware streaming need?  This example scales one
-throughput trace down step by step and reports, for each ABR algorithm, the
-average true QoE across a small video mix — then reads off how far SENSEI's
-curve can be pushed down before it drops below the baseline's full-bandwidth
-QoE.
+Deprecated shim: the sweep now lives in the experiment registry as the
+``bandwidth-savings`` demo and runs through the unified CLI —
+
+    python -m repro run bandwidth-savings --scale quick --backend auto
+
+This script remains so existing invocations keep working; it simply
+forwards to the CLI (see docs/EXPERIMENTS.md for the migration table).
 
 Run with:  python examples/bandwidth_savings.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import sys
 
-from repro.abr import BufferBasedABR, FuguABR
-from repro.core import SenseiFuguABR, SenseiProfiler
-from repro.core.scheduler import SchedulerConfig
-from repro.engine import BatchRunner, WorkOrder
-from repro.network import TraceBank
-from repro.qoe import GroundTruthOracle
-from repro.video import VideoLibrary
-
-
-def main() -> None:
-    library = VideoLibrary()
-    oracle = GroundTruthOracle()
-    video_ids = ["soccer1", "lava", "fps1"]
-    profiler = SenseiProfiler(
-        oracle=oracle,
-        scheduler_config=SchedulerConfig(step1_ratings=8, step2_ratings=4),
-    )
-    weights = {
-        vid: profiler.profile_video(library.encoded(vid)).profile.weights
-        for vid in video_ids
-    }
-
-    base_trace = TraceBank(num_traces=6, duration_s=900.0).trace(3)
-    ratios = (0.4, 0.55, 0.7, 0.85, 1.0)
-    algorithms = {
-        "BBA": (lambda: BufferBasedABR(), False),
-        "Fugu": (lambda: FuguABR(), False),
-        "SENSEI-Fugu": (lambda: SenseiFuguABR(), True),
-    }
-
-    print(f"Base trace '{base_trace.name}', mean {base_trace.mean_mbps:.2f} Mbps")
-    print(f"\n{'bandwidth scale':>15s} " + " ".join(f"{n:>12s}" for n in algorithms))
-    # One work order per (ratio, algorithm, video), dispatched in a single
-    # batch so the process backend (on multi-core hosts) pays pool startup
-    # exactly once for the whole sweep.
-    labels, orders = [], []
-    for ratio in ratios:
-        trace = base_trace.scaled(ratio)
-        for name, (factory, use_weights) in algorithms.items():
-            for vid in video_ids:
-                labels.append((ratio, name))
-                orders.append(WorkOrder(
-                    abr=factory(), encoded=library.encoded(vid), trace=trace,
-                    chunk_weights=weights[vid] if use_weights else None,
-                ))
-    results = BatchRunner.auto().run_orders(orders)
-    qoe = {label: [] for label in labels}
-    for label, result in zip(labels, results):
-        qoe[label].append(oracle.true_qoe(result.rendered))
-    curves = {name: [] for name in algorithms}
-    for ratio in ratios:
-        row = f"{ratio:>14.0%} "
-        for name in algorithms:
-            mean_qoe = float(np.mean(qoe[(ratio, name)]))
-            curves[name].append(mean_qoe)
-            row += f" {mean_qoe:12.3f}"
-        print(row)
-
-    target = curves["Fugu"][-1]
-    saving = 0.0
-    for ratio, qoe in zip(ratios, curves["SENSEI-Fugu"]):
-        if qoe >= target:
-            saving = 1.0 - ratio
-            break
-    print(f"\nFugu's QoE at full bandwidth: {target:.3f}")
-    print(f"SENSEI reaches that QoE with ~{saving:.0%} less bandwidth")
-
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main([
+        "run", "bandwidth-savings",
+        "--scale", "quick", "--backend", "auto", "--no-save",
+    ]))

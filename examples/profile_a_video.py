@@ -1,80 +1,21 @@
 """Profiling walk-through: how SENSEI turns crowd ratings into chunk weights.
 
-This example opens up the profiling pipeline (§4 of the paper) on a short
-sports clip so every intermediate artefact is small enough to print:
+Deprecated shim: the walk-through now lives in the experiment registry as
+the ``profile-video`` demo and runs through the unified CLI —
 
-* the step-1 schedule (one 1-second-stall rendering per chunk),
-* the raw MOS the simulated crowd assigns to each rendering,
-* the chunks the two-step scheduler re-probes in step 2,
-* the final per-chunk weights, compared against the latent sensitivity the
-  simulated viewers actually used (which a real deployment never sees).
+    python -m repro run profile-video --scale quick
+
+This script remains so existing invocations keep working; it simply
+forwards to the CLI (see docs/EXPERIMENTS.md for the migration table).
 
 Run with:  python examples/profile_a_video.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import sys
 
-from repro.core.scheduler import SchedulerConfig, TwoStepScheduler
-from repro.core.weights import infer_weights
-from repro.crowd import CampaignConfig, MTurkCampaign
-from repro.qoe import GroundTruthOracle, KSQIModel
-from repro.utils import spearman_correlation
-from repro.video import SyntheticEncoder, SourceVideo
-from repro.video.rendering import render_pristine
-
-
-def main() -> None:
-    oracle = GroundTruthOracle()
-    video = SourceVideo.synthesize(
-        "demo-match", "sports", duration_s=60.0, chunk_duration_s=4.0, seed=11
-    )
-    encoded = SyntheticEncoder(seed=12).encode(video)
-    print(f"Profiling '{video.name}': {video.num_chunks} chunks, "
-          f"labels = {video.chunk_labels()}")
-
-    scheduler = TwoStepScheduler(SchedulerConfig(step1_ratings=10, step2_ratings=5))
-    step1 = scheduler.step1_schedule(encoded)
-    print(f"\nStep 1 publishes {len(step1.renderings)} renderings "
-          f"({step1.ratings_per_rendering} ratings each)")
-
-    campaign = MTurkCampaign(
-        oracle=oracle,
-        config=CampaignConfig(ratings_per_rendering=step1.ratings_per_rendering),
-    )
-    result1 = campaign.run(step1.renderings, reference=render_pristine(encoded))
-    print(f"Step 1 campaign: {result1.num_participants} participants, "
-          f"{result1.rejection_rate():.0%} rejected, "
-          f"${result1.total_paid_usd:.1f} paid")
-
-    base_model = KSQIModel()
-    rated = [r for r in step1.renderings if r.render_id in result1.mos]
-    mos = [result1.mos[r.render_id] for r in rated]
-    step1_profile = infer_weights(rated, mos, base_model=base_model)
-
-    reprobe = scheduler.select_chunks_to_reprobe(step1_profile.weights)
-    print(f"\nStep 2 re-probes {len(reprobe)} chunks: {list(map(int, reprobe))}")
-    step2 = scheduler.step2_schedule(encoded, step1_profile.weights)
-    result2 = campaign.run(step2.renderings, reference=render_pristine(encoded))
-
-    all_renderings = rated + [
-        r for r in step2.renderings if r.render_id in result2.mos
-    ]
-    all_mos = mos + [
-        result2.mos[r.render_id]
-        for r in step2.renderings if r.render_id in result2.mos
-    ]
-    profile = infer_weights(all_renderings, all_mos, base_model=base_model)
-
-    truth = oracle.normalized_sensitivity(video)
-    print("\nchunk  label             weight   latent sensitivity")
-    for index in range(video.num_chunks):
-        print(f"{index:5d}  {video.chunk_labels()[index]:16s} "
-              f"{profile.weights[index]:6.2f}   {truth[index]:6.2f}")
-    print(f"\nSpearman correlation(weights, latent sensitivity) = "
-          f"{spearman_correlation(profile.weights, truth):.2f}")
-
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", "profile-video", "--scale", "quick", "--no-save"]))

@@ -1,80 +1,21 @@
 """Quickstart: profile one video, stream it with SENSEI, compare to baselines.
 
-Runs the full SENSEI loop end to end on one catalogue video:
+Deprecated shim: the walk-through now lives in the experiment registry as
+the ``quickstart`` demo and runs through the unified CLI —
 
-1. profile the video's dynamic quality sensitivity with a (simulated)
-   crowdsourcing campaign and inspect the per-chunk weights;
-2. embed the weights in a DASH manifest (the wire format SENSEI uses);
-3. stream the video over a cellular-like trace with BBA, Fugu and
-   SENSEI-Fugu and compare their true QoE.
+    python -m repro run quickstart --scale quick
+
+This script remains so existing invocations keep working; it simply
+forwards to the CLI (see docs/EXPERIMENTS.md for the migration table).
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import sys
 
-from repro.abr import BufferBasedABR, FuguABR
-from repro.core import SenseiFuguABR, SenseiProfiler
-from repro.core.scheduler import SchedulerConfig
-from repro.engine import BatchRunner, WorkOrder
-from repro.network import TraceBank
-from repro.player import SenseiManifest, manifest_to_xml
-from repro.qoe import GroundTruthOracle
-from repro.video import VideoLibrary
-
-
-def main() -> None:
-    library = VideoLibrary()
-    oracle = GroundTruthOracle()
-    encoded = library.encoded("soccer1")
-    print(f"Video: {encoded.source.name} "
-          f"({encoded.num_chunks} chunks x {encoded.chunk_duration_s:.0f}s, "
-          f"genre={encoded.source.genre})")
-
-    # 1. Profile dynamic quality sensitivity via a simulated MTurk campaign.
-    profiler = SenseiProfiler(
-        oracle=oracle,
-        scheduler_config=SchedulerConfig(step1_ratings=8, step2_ratings=4),
-    )
-    profiling = profiler.profile_video(encoded)
-    weights = profiling.profile.weights
-    print(f"\nProfiling cost: ${profiling.total_cost_usd:.1f} "
-          f"(${profiling.cost_per_source_minute_usd:.1f} per source minute, "
-          f"{profiling.num_renderings} rendered videos)")
-    top_chunks = np.argsort(weights)[-3:][::-1]
-    print("Most quality-sensitive chunks:",
-          ", ".join(f"#{i} (w={weights[i]:.2f}, "
-                    f"{encoded.source.descriptor(int(i)).label})"
-                    for i in top_chunks))
-
-    # 2. The weights travel to the player inside the DASH manifest.
-    manifest = SenseiManifest.from_encoded(encoded, weights=weights)
-    xml = manifest_to_xml(manifest)
-    print(f"\nManifest with sensei:weights extension: {len(xml)} bytes of XML")
-
-    # 3. Stream over a cellular-like trace with three ABR algorithms.
-    trace = TraceBank(num_traces=6, duration_s=900.0).trace(1)
-    print(f"\nStreaming over trace '{trace.name}' "
-          f"(mean {trace.mean_mbps:.2f} Mbps)\n")
-    print(f"{'ABR':14s} {'true QoE':>9s} {'bitrate':>9s} {'stalls':>7s} {'switches':>9s}")
-    orders = [
-        WorkOrder(abr=abr, encoded=encoded, trace=trace,
-                  chunk_weights=weights if use_weights else None)
-        for abr, use_weights in (
-            (BufferBasedABR(), False),
-            (FuguABR(), False),
-            (SenseiFuguABR(), True),
-        )
-    ]
-    # Three short sessions: the serial backend beats pool startup here.
-    for order, result in zip(orders, BatchRunner().run_orders(orders)):
-        qoe = oracle.true_qoe(result.rendered)
-        print(f"{order.abr.name:14s} {qoe:9.3f} "
-              f"{result.average_bitrate_kbps:7.0f}kb {result.total_stall_s:6.1f}s "
-              f"{result.rendered.num_switches():9d}")
-
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", "quickstart", "--scale", "quick", "--no-save"]))

@@ -1,127 +1,29 @@
 """Train the RL policies end to end: curriculum -> checkpoints -> ABR grid.
 
-A quick-scale walk through the training subsystem (§5.2 of the paper: the
-Pensieve variant "must be (re)trained like Pensieve"):
+Deprecated shim: the pipeline now lives in
+:func:`repro.training.pipeline.train_policies` and runs through the
+unified CLI —
 
-1. build a tiny experiment context and profile its videos' sensitivity
-   weights (the same simulated-crowdsourcing pass every figure uses);
-2. train a base Pensieve agent (unweighted rewards) and a SENSEI-Pensieve
-   agent (weights in state, reweighted rewards) on a scenario curriculum
-   spanning the evaluation trace bank plus handover / congestion-onset /
-   low-bandwidth-cellular stress regimes;
-3. checkpoint both policies to ``checkpoints/``;
-4. reload the checkpoints into the experiment context and evaluate the full
-   ABR grid (BBA, Fugu, SENSEI-Fugu, Pensieve, SENSEI-Pensieve).
+    python -m repro train                # tiny scale, checkpoints/ root
+    python -m repro train --scale quick  # bigger curricula
+
+This script remains so existing invocations (``make train`` used to point
+here) keep working; it simply forwards to the CLI (see docs/EXPERIMENTS.md
+for the migration table).
 
 Run with:  make train   (or  PYTHONPATH=src python examples/train_pensieve.py)
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
-import numpy as np
+from repro.experiments.cli import main
 
-from repro.abr.pensieve import PensieveABR, PensieveConfig
-from repro.core.sensei_abr import make_sensei_pensieve
-from repro.engine.runner import BatchRunner
-from repro.experiments.abr_eval import _evaluate_grid
-from repro.experiments.common import ExperimentContext, ExperimentScale
-from repro.training import (
-    CheckpointStore,
-    CurriculumConfig,
-    ScenarioCurriculum,
-    Trainer,
-    TrainerConfig,
-    evaluate_policy,
-)
-
+#: The old script anchored checkpoints at the repo root regardless of the
+#: working directory; the shim preserves that.
 CHECKPOINT_ROOT = Path(__file__).resolve().parent.parent / "checkpoints"
 
-#: A deliberately tiny scale so the whole example runs in well under a
-#: minute; bump towards ``ExperimentScale.full()`` for real training runs.
-TINY_SCALE = ExperimentScale(
-    name="tiny",
-    num_videos=2,
-    num_traces=3,
-    step1_ratings=4,
-    step2_ratings=2,
-    trace_duration_s=400.0,
-)
-
-#: Gentle rates: at this tiny scale the default rates can collapse the
-#: policy before the curriculum has shown it enough regimes.  The trainer's
-#: best-checkpoint selection protects against late-run degradation either
-#: way.
-TRAINING = TrainerConfig(
-    rounds=12,
-    episodes_per_round=8,
-    eval_every=1,
-    eval_episodes=6,
-    actor_lr=1e-4,
-    critic_lr=5e-4,
-    entropy_weight=0.05,
-    entropy_decay=0.95,
-)
-
-
-def train_one(name, abr, curriculum, store, runner, oracle):
-    """Train one policy, checkpoint it, and report its trajectory."""
-    untrained_qoe = evaluate_policy(
-        abr, curriculum.holdout_specs(TRAINING.eval_episodes),
-        runner=runner, oracle=oracle,
-    )
-    trainer = Trainer(
-        abr, curriculum, runner=runner, store=store, checkpoint_name=name,
-        oracle=oracle, config=TRAINING,
-    )
-    result = trainer.train()
-    print(f"\n{name}: untrained held-out QoE {untrained_qoe:.3f}")
-    for evaluation in result.evaluations:
-        print(f"  round {int(evaluation['round']) + 1:2d}: "
-              f"mean QoE {evaluation['mean_qoe']:.3f}")
-    print(f"  best {result.best_eval_qoe:.3f} (round {result.best_round + 1})"
-          f"{' — stopped early' if result.stopped_early else ''};"
-          f" checkpoints: {', '.join(sorted(set(result.checkpoints)))}")
-    return result
-
-
-def main() -> None:
-    context = ExperimentContext(scale=TINY_SCALE, seed=7)
-    runner = BatchRunner.auto()
-    store = CheckpointStore(CHECKPOINT_ROOT)
-    print(f"Videos: {', '.join(context.video_ids())}; "
-          f"traces: {', '.join(t.name for t in context.traces())}; "
-          f"backend: {runner.backend}")
-
-    # Base Pensieve trains on unweighted rewards; SENSEI-Pensieve trains on
-    # the same curriculum with sensitivity weights in state and reward.
-    plain_curriculum = ScenarioCurriculum(
-        context.videos(), context.traces(),
-        config=CurriculumConfig(trace_duration_s=400.0, seed=29),
-    )
-    sensei_curriculum = context.training_curriculum(
-        config=CurriculumConfig(trace_duration_s=400.0, seed=31)
-    )
-
-    train_one(
-        "pensieve", PensieveABR(config=PensieveConfig(seed=41)),
-        plain_curriculum, store, runner, context.oracle,
-    )
-    train_one(
-        "sensei-pensieve", make_sensei_pensieve(seed=47),
-        sensei_curriculum, store, runner, context.oracle,
-    )
-
-    # Round-trip: load the best checkpoints back and run the full ABR grid.
-    context.load_trained_agents(
-        store, pensieve="pensieve-best", sensei_pensieve="sensei-pensieve-best"
-    )
-    scores = _evaluate_grid(context, include_pensieve=True, runner=runner)
-    print("\nABR grid with checkpointed policies (mean true QoE):")
-    for name, cells in scores.items():
-        print(f"  {name:16s} {np.mean(list(cells.values())):.3f}")
-
-
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["train", "--checkpoints", str(CHECKPOINT_ROOT)]))

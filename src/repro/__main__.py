@@ -1,0 +1,10 @@
+"""``python -m repro``: the unified experiment CLI.
+
+See :mod:`repro.experiments.cli` for the subcommands
+(``list`` / ``run`` / ``report`` / ``train``).
+"""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@ The perf harness (``benchmarks/test_perf_engine.py``) measures three things
 every run — sessions/sec, planner decisions/sec and the quick-scale grid
 wall-clock (seed implementation vs engine, measured back to back in the same
 process) — and persists them here so the numbers can be tracked PR over PR.
+
+The provenance helpers (:func:`environment_fingerprint`,
+:func:`git_revision`) are shared with the experiment artifact store
+(:mod:`repro.experiments.results`), so bench reports and ``ResultSet``
+metadata describe runs the same way.
 """
 
 from __future__ import annotations
@@ -11,12 +16,39 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 #: Default report location (repo root).
 DEFAULT_REPORT_NAME = "BENCH_engine.json"
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """The runtime fingerprint stamped on bench reports and result sets."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_revision(cwd: Union[str, Path, None] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a work tree."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = output.stdout.strip()
+    return revision if output.returncode == 0 and revision else None
 
 
 @dataclass
@@ -54,9 +86,11 @@ def write_bench_report(
         path = Path.cwd() / DEFAULT_REPORT_NAME
     path = Path(path)
     payload = report.to_dict()
-    payload["meta"].setdefault("python", platform.python_version())
-    payload["meta"].setdefault("platform", platform.platform())
-    payload["meta"].setdefault("cpu_count", os.cpu_count())
+    for key, value in environment_fingerprint().items():
+        payload["meta"].setdefault(key, value)
+    revision = git_revision()
+    if revision is not None:
+        payload["meta"].setdefault("git_revision", revision)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

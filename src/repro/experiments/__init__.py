@@ -1,22 +1,69 @@
-"""Experiment harness: one entry point per table/figure of the paper.
+"""Experiment harness: one declarative API over every table/figure.
 
-The modules are grouped by theme; every figure has a dedicated ``fig*``
-function (see DESIGN.md's per-experiment index for the mapping):
+The canonical way to run anything is the spec/registry path (see
+``docs/EXPERIMENTS.md`` and ``python -m repro list``)::
 
+    from repro.experiments import ExperimentSpec, run
+    result = run(ExperimentSpec(experiment="fig12a", scale="quick", seed=7))
+    result.data["per_algorithm"]["SENSEI"]["median_gain"]
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec` (name, scale,
+  seed, checkpoints, params) and the scale-preset registry;
+* :mod:`repro.experiments.registry` — the experiment catalogue and the
+  single ``run(spec) -> ResultSet`` execution path;
+* :mod:`repro.experiments.results` — :class:`ResultSet` +
+  :class:`ArtifactStore`, the typed, content-addressed artifact store with
+  finished-cell resume;
+* :mod:`repro.experiments.cli` — the ``python -m repro`` front door;
 * :mod:`repro.experiments.common` — shared context (video set, trace bank,
-  oracle, profiler, cached weights) and the quick/full scale presets;
-* :mod:`repro.experiments.sensitivity` — Figures 1, 3, 4, 5, 20 and Table 1
-  (the measurement study of dynamic quality sensitivity);
-* :mod:`repro.experiments.qoe_models` — Figures 2, 15, 16 and 12c plus the
-  Appendix B statistics (QoE-model accuracy, cost pruning);
-* :mod:`repro.experiments.abr_eval` — Figures 6, 12a, 12b, 13, 14, 17, 18
-  and the headline §7.2 numbers (end-to-end ABR evaluation).
+  oracle, profiler, cached weights/agents) and the scale presets.
 
-Every function takes an :class:`~repro.experiments.common.ExperimentContext`
-and returns a plain dictionary with the rows/series the paper reports, so
-benchmarks and examples can print or assert on them directly.
+The figure modules are grouped by theme; every figure keeps its dedicated
+``fig*`` function, registered with the catalogue and still callable
+directly (the historical entry points are shims over the registered
+implementations):
+
+* :mod:`repro.experiments.sensitivity` — Figures 1, 3, 4, 5, 20, Table 1;
+* :mod:`repro.experiments.qoe_models` — Figures 2, 15, 16, 12c, Appendix B;
+* :mod:`repro.experiments.abr_eval` — Figures 6, 12a, 12b, 13, 14, 17, 18
+  and the headline §7.2 numbers;
+* :mod:`repro.experiments.showcase` — the narrated demo walk-throughs
+  behind ``examples/``.
+
+Every experiment function takes an
+:class:`~repro.experiments.common.ExperimentContext` and returns a plain
+dictionary with the rows/series the paper reports.
 """
 
 from repro.experiments.common import ExperimentContext, ExperimentScale
+from repro.experiments.registry import (
+    ExperimentDef,
+    experiment,
+    experiment_names,
+    get_experiment,
+    run,
+)
+from repro.experiments.results import ArtifactStore, CellCache, ResultSet
+from repro.experiments.spec import (
+    ExperimentSpec,
+    register_scale,
+    resolve_scale,
+    scale_names,
+)
 
-__all__ = ["ExperimentContext", "ExperimentScale"]
+__all__ = [
+    "ArtifactStore",
+    "CellCache",
+    "ExperimentContext",
+    "ExperimentDef",
+    "ExperimentScale",
+    "ExperimentSpec",
+    "ResultSet",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "register_scale",
+    "resolve_scale",
+    "run",
+    "scale_names",
+]

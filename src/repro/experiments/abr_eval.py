@@ -3,13 +3,14 @@ headline §7.2 numbers."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.abr.offline import OfflineOptimalABR
 from repro.engine.runner import BatchRunner, WorkOrder
 from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import experiment
 from repro.qoe.ksqi import KSQIModel
 from repro.utils.stats import cdf_points
 from repro.video.encoder import EncodedVideo
@@ -19,6 +20,7 @@ from repro.video.encoder import EncodedVideo
 # Figure 6: idealised (offline) sensitivity-aware vs -unaware ABR.
 # --------------------------------------------------------------------------
 
+@experiment("fig06", group="abr", figures=("6",))
 def fig06_potential_gains(
     context: ExperimentContext,
     video_ids: Optional[Sequence[str]] = None,
@@ -83,41 +85,79 @@ def _evaluate_grid(
     built in the seed's (video, trace, algorithm) nesting order, executed by
     ``runner`` (the context's runner by default — serial unless configured
     otherwise), and scored by the oracle in the parent process.
+
+    When the registry attached a finished-cell cache to the context
+    (``context.cell_cache``), cells already scored by an earlier run of the
+    same (scale, seed, checkpoints) context are reused instead of
+    re-simulated, and every freshly scored cell is persisted — an
+    interrupted grid resumes where it stopped.
     """
     runner = runner if runner is not None else context.runner
-    algorithms: Dict[str, Tuple[object, bool]] = {
-        "BBA": (context.make_bba(), False),
-        "Fugu": (context.make_fugu(), False),
-        "SENSEI": (context.make_sensei_fugu(), True),
+    cache = getattr(context, "cell_cache", None)
+    # Factories, not instances: the RL policies (the expensive ones — ad-hoc
+    # training when no checkpoint exists) only materialise when some cell of
+    # theirs actually misses the cache.
+    algorithms: Dict[str, Tuple[Callable[[], object], bool]] = {
+        "BBA": (context.make_bba, False),
+        "Fugu": (context.make_fugu, False),
+        "SENSEI": (context.make_sensei_fugu, True),
     }
+    cell_suffix: Dict[str, str] = {}
     if include_pensieve:
-        algorithms["Pensieve"] = (context.trained_pensieve(), False)
-        algorithms["SENSEI-Pensieve"] = (context.trained_sensei_pensieve(), True)
-    keys: List[Tuple[str, str, str]] = []
+        algorithms["Pensieve"] = (context.trained_pensieve, False)
+        algorithms["SENSEI-Pensieve"] = (context.trained_sensei_pensieve, True)
+        # RL cells embed the policy's provenance (checkpoint name + save
+        # index, or ad-hoc training), so cached cells from one checkpoint
+        # generation are never served for another.
+        cell_suffix["Pensieve"] = (
+            "/" + context.trained_policy_provenance("pensieve")
+        )
+        cell_suffix["SENSEI-Pensieve"] = (
+            "/" + context.trained_policy_provenance("sensei-pensieve")
+        )
+    instances: Dict[str, object] = {}
+    scores: Dict[str, Dict[Tuple[str, str], float]] = {
+        name: {} for name in algorithms
+    }
+    keys: List[Tuple[str, str, str, str]] = []
     orders: List[WorkOrder] = []
     for encoded in context.videos():
         video_id = encoded.source.video_id
         for trace in context.traces():
-            for name, (abr, use_weights) in algorithms.items():
+            for name, (factory, use_weights) in algorithms.items():
+                cell_key = (
+                    f"grid/{name}/{video_id}/{trace.name}"
+                    f"{cell_suffix.get(name, '')}"
+                )
+                cached = cache.get(cell_key) if cache is not None else None
+                # Insert the cell slot now (even when pending) so score-dict
+                # iteration order always matches the seed nesting order,
+                # whether a cell was resumed from cache or freshly computed.
+                scores[name][(video_id, trace.name)] = (
+                    float(cached) if cached is not None else None
+                )
+                if cached is not None:
+                    continue
+                if name not in instances:
+                    instances[name] = factory()
                 weights = context.weights(video_id) if use_weights else None
-                keys.append((name, video_id, trace.name))
+                keys.append((name, video_id, trace.name, cell_key))
                 orders.append(
                     WorkOrder(
-                        abr=abr, encoded=encoded, trace=trace,
+                        abr=instances[name], encoded=encoded, trace=trace,
                         chunk_weights=weights,
                     )
                 )
     results = runner.run_orders(orders)
-    scores: Dict[str, Dict[Tuple[str, str], float]] = {
-        name: {} for name in algorithms
-    }
-    for (name, video_id, trace_name), result in zip(keys, results):
-        scores[name][(video_id, trace_name)] = context.oracle.true_qoe(
-            result.rendered
-        )
+    for (name, video_id, trace_name, cell_key), result in zip(keys, results):
+        qoe = context.oracle.true_qoe(result.rendered)
+        scores[name][(video_id, trace_name)] = qoe
+        if cache is not None:
+            cache.put(cell_key, qoe)
     return scores
 
 
+@experiment("fig12a", group="abr", figures=("12a",), supports_pensieve=True)
 def fig12a_qoe_gain_cdf(
     context: ExperimentContext, include_pensieve: bool = False
 ) -> Dict[str, object]:
@@ -144,6 +184,7 @@ def fig12a_qoe_gain_cdf(
     return {"per_algorithm": summary, "num_pairs": len(baseline)}
 
 
+@experiment("fig13", group="abr", figures=("13",))
 def fig13_gain_per_video(context: ExperimentContext) -> Dict[str, object]:
     """Figure 13: mean QoE gain over BBA per source video, grouped by genre."""
     scores = _evaluate_grid(context)
@@ -170,6 +211,7 @@ def fig13_gain_per_video(context: ExperimentContext) -> Dict[str, object]:
     return {"rows": rows}
 
 
+@experiment("fig14", group="abr", figures=("14",))
 def fig14_gain_per_trace(context: ExperimentContext) -> Dict[str, object]:
     """Figure 14: mean QoE gain over BBA per trace (ordered by throughput)."""
     scores = _evaluate_grid(context)
@@ -205,6 +247,7 @@ def fig14_gain_per_trace(context: ExperimentContext) -> Dict[str, object]:
     }
 
 
+@experiment("headline", group="abr", figures=("§7.2",))
 def headline_numbers(context: ExperimentContext) -> Dict[str, object]:
     """§7.2 headline: mean QoE gain of SENSEI over its base ABR and over BBA."""
     scores = _evaluate_grid(context)
@@ -228,6 +271,7 @@ def headline_numbers(context: ExperimentContext) -> Dict[str, object]:
 # Figure 12b: QoE vs bandwidth usage (bandwidth savings at equal QoE).
 # --------------------------------------------------------------------------
 
+@experiment("fig12b", group="abr", figures=("12b",))
 def fig12b_bandwidth_usage(
     context: ExperimentContext,
     trace_index: int = 2,
@@ -273,6 +317,7 @@ def fig12b_bandwidth_usage(
 # Figure 17: robustness to added throughput variance.
 # --------------------------------------------------------------------------
 
+@experiment("fig17", group="abr", figures=("17",), supports_pensieve=True)
 def fig17_bandwidth_variance(
     context: ExperimentContext,
     trace_index: int = 2,
@@ -312,6 +357,7 @@ def fig17_bandwidth_variance(
 # Figure 18: where SENSEI's gains come from.
 # --------------------------------------------------------------------------
 
+@experiment("fig18a", group="abr", figures=("18a",), always_uses_checkpoints=True)
 def fig18a_base_abr_comparison(context: ExperimentContext) -> Dict[str, object]:
     """Figure 18a: gain over BBA when SENSEI is applied to Fugu vs Pensieve."""
     scores = _evaluate_grid(context, include_pensieve=True)
@@ -331,6 +377,7 @@ def fig18a_base_abr_comparison(context: ExperimentContext) -> Dict[str, object]:
     }
 
 
+@experiment("fig18b", group="abr", figures=("18b",))
 def fig18b_gain_breakdown(context: ExperimentContext) -> Dict[str, object]:
     """Figure 18b: decomposing SENSEI's gain into (1) the reweighted QoE
     objective (bitrate adaptation only) and (2) the new proactive-stall

@@ -1,0 +1,302 @@
+"""``python -m repro`` — the single front door to every experiment.
+
+Subcommands
+-----------
+``list``
+    The experiment catalogue: every registered experiment, grouped, with
+    the paper figures it reproduces and its tunable parameters.
+``run``
+    Execute one or more experiments by name through the spec/registry
+    path, persisting :class:`~repro.experiments.results.ResultSet`
+    artifacts (content-addressed by spec hash) under ``--results``.
+    Re-running an identical spec is a cache hit; interrupted grids resume
+    from finished cells; ``--force`` recomputes.
+``report``
+    Inspect stored artifacts: a table of everything in the results
+    directory, or one artifact (by experiment name or spec-hash prefix)
+    in detail.
+``train``
+    The RL training pipeline: curricula → checkpoints → checkpoint-backed
+    ABR grid (see :mod:`repro.training.pipeline`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.registry import get_experiment, registry, run
+from repro.experiments.results import ArtifactStore
+from repro.experiments.spec import ExperimentSpec, scale_names
+
+#: Default artifact-store location, relative to the working directory.
+DEFAULT_RESULTS_ROOT = "results"
+
+
+def _parse_override(text: str):
+    """``key=value`` with a JSON value (bare words fall back to strings)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _experiment_params(defn) -> Dict[str, object]:
+    """An experiment's tunable params and their defaults."""
+    signature = inspect.signature(defn.fn)
+    return {
+        name: (None if p.default is inspect.Parameter.empty else p.default)
+        for name, p in signature.parameters.items()
+        if name != "context" and p.kind is not inspect.Parameter.VAR_KEYWORD
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, list and inspect the paper-reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="show the experiment catalogue")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable catalogue")
+
+    run_cmd = sub.add_parser("run", help="run experiments through run(spec)")
+    run_cmd.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                         help="registered experiment names (see `list`)")
+    run_cmd.add_argument("--scale", default="quick",
+                         help=f"scale preset ({', '.join(scale_names())})")
+    run_cmd.add_argument("--seed", type=int, default=7,
+                         help="the single seed every artefact derives from")
+    run_cmd.add_argument("--backend", default="serial",
+                         choices=("serial", "process", "auto"),
+                         help="batch-engine backend (results are identical)")
+    run_cmd.add_argument("--workers", type=int, default=None,
+                         help="worker count for the process backend")
+    run_cmd.add_argument("--results", default=DEFAULT_RESULTS_ROOT,
+                         help="artifact-store root (content-addressed)")
+    run_cmd.add_argument("--no-save", action="store_true",
+                         help="run purely in memory: no cache, no artifacts")
+    run_cmd.add_argument("--force", action="store_true",
+                         help="recompute even when a cached artifact exists")
+    run_cmd.add_argument("--checkpoints", default=None, metavar="DIR",
+                         help="CheckpointStore root for trained policies")
+    pensieve = run_cmd.add_mutually_exclusive_group()
+    pensieve.add_argument("--include-pensieve", dest="include_pensieve",
+                          action="store_true", default=None,
+                          help="include the RL policies in grid figures")
+    pensieve.add_argument("--exclude-pensieve", dest="include_pensieve",
+                          action="store_false",
+                          help="exclude the RL policies from grid figures")
+    run_cmd.add_argument("--set", dest="overrides", action="append",
+                         default=[], type=_parse_override, metavar="KEY=VALUE",
+                         help="experiment parameter override (JSON values)")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="print each result's full data as JSON")
+
+    report_cmd = sub.add_parser("report", help="inspect stored artifacts")
+    report_cmd.add_argument("target", nargs="?", default=None,
+                            help="experiment name or spec-hash prefix")
+    report_cmd.add_argument("--results", default=DEFAULT_RESULTS_ROOT,
+                            help="artifact-store root to read")
+    report_cmd.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+
+    train_cmd = sub.add_parser(
+        "train", help="train the RL policies and checkpoint them"
+    )
+    train_cmd.add_argument("--scale", default="tiny",
+                           help=f"scale preset ({', '.join(scale_names())})")
+    train_cmd.add_argument("--seed", type=int, default=7)
+    train_cmd.add_argument("--checkpoints", default="checkpoints",
+                           metavar="DIR", help="CheckpointStore root")
+    train_cmd.add_argument("--backend", default="auto",
+                           choices=("serial", "process", "auto"))
+    train_cmd.add_argument("--workers", type=int, default=None)
+    train_cmd.add_argument("--rounds", type=int, default=None,
+                           help="training rounds (default: pipeline preset)")
+    train_cmd.add_argument("--episodes-per-round", type=int, default=None)
+    train_cmd.add_argument("--json", action="store_true",
+                           help="print the training summary as JSON")
+    return parser
+
+
+# ----------------------------------------------------------------- commands
+
+def _cmd_list(args) -> int:
+    defs = registry()
+    if args.json:
+        payload = [
+            {
+                "name": defn.name,
+                "group": defn.group,
+                "figures": list(defn.figures),
+                "description": defn.description,
+                "supports_pensieve": defn.supports_pensieve,
+                "cacheable": defn.cacheable,
+                "params": _experiment_params(defn),
+            }
+            for defn in defs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    group = None
+    for defn in defs:
+        if defn.group != group:
+            group = defn.group
+            print(f"\n[{group}]")
+        figures = f"  (fig {', '.join(defn.figures)})" if defn.figures else ""
+        print(f"  {defn.name:18s} {defn.description}{figures}")
+        params = _experiment_params(defn)
+        if params:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in params.items())
+            print(f"  {'':18s}   params: {rendered}")
+    print(f"\n{len(defs)} experiments; run with: "
+          f"python -m repro run <name> [--scale quick|full|tiny]")
+    return 0
+
+
+def _print_scalars(data: Dict[str, object], indent: str = "  ") -> None:
+    for key, value in data.items():
+        if isinstance(value, bool):
+            print(f"{indent}{key} = {value}")
+        elif isinstance(value, float):
+            print(f"{indent}{key} = {value:.4f}")
+        elif isinstance(value, (int, str)):
+            print(f"{indent}{key} = {value}")
+
+
+def _cmd_run(args) -> int:
+    store = None if args.no_save else ArtifactStore(args.results)
+    for name in args.experiments:
+        get_experiment(name)  # fail fast on typos before running anything
+    for name in args.experiments:
+        spec = ExperimentSpec(
+            experiment=name,
+            scale=args.scale,
+            seed=args.seed,
+            backend=args.backend,
+            max_workers=args.workers,
+            include_pensieve=args.include_pensieve,
+            checkpoint_root=args.checkpoints,
+            params=dict(args.overrides),
+        )
+        result = run(spec, store=store, force=args.force)
+        status = "cached" if result.cache_hit else "computed"
+        wall = result.meta.get("wall_time_s")
+        wall_text = (
+            f" in {wall:.2f}s"
+            if isinstance(wall, float) and not result.cache_hit
+            else ""
+        )
+        # result.spec, not the local spec: run() normalises the spec and
+        # stamps the checkpoint fingerprint, so only the result's spec
+        # names the hash/path the artifact actually lives under.
+        print(f"\n== {name} [{result.spec_hash}] "
+              f"scale={args.scale} seed={args.seed} — {status}{wall_text}")
+        if args.json:
+            print(json.dumps(result.data, indent=2, sort_keys=True))
+        else:
+            _print_scalars(result.data)
+        if store is not None and get_experiment(name).cacheable:
+            print(f"  artifact: {store.path_for(result.spec)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = ArtifactStore(args.results)
+    if args.target is None:
+        entries = store.entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        if not entries:
+            print(f"no artifacts under {store.root}/")
+            return 0
+        print(f"{'experiment':14s} {'spec hash':18s} {'scale':7s} "
+              f"{'seed':>4s} {'wall s':>8s}  git")
+        for entry in entries:
+            wall = entry.get("wall_time_s")
+            wall_text = f"{wall:8.2f}" if isinstance(wall, float) else f"{'-':>8s}"
+            revision = (entry.get("git_revision") or "-")[:10]
+            print(f"{str(entry['experiment']):14s} {str(entry['spec_hash']):18s} "
+                  f"{str(entry['scale']):7s} {entry['seed']:4d} {wall_text}  "
+                  f"{revision}")
+        print(f"\n{len(entries)} artifacts under {store.root}/")
+        return 0
+    result = store.find(args.target)
+    if result is None:
+        print(f"no artifact matching {args.target!r} under {store.root}/",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+        return 0
+    print(f"experiment: {result.experiment}  [{result.spec_hash}]")
+    print(f"spec: {json.dumps(result.spec.to_dict(), sort_keys=True)}")
+    print("meta:")
+    _print_scalars(result.meta)
+    print("data:")
+    _print_scalars(result.data)
+    rows = result.summary_rows()
+    if rows and "key" not in rows[0]:
+        print(f"rows: {len(rows)} (see result.csv)")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.engine.runner import BatchRunner
+    from repro.experiments.spec import resolve_scale
+    from repro.training.pipeline import DEFAULT_TRAINING, train_policies
+
+    if args.backend == "auto":
+        runner = BatchRunner.auto(max_workers=args.workers)
+    else:
+        runner = BatchRunner(backend=args.backend, max_workers=args.workers)
+    config = DEFAULT_TRAINING
+    if args.rounds is not None or args.episodes_per_round is not None:
+        from dataclasses import replace
+
+        changes = {}
+        if args.rounds is not None:
+            changes["rounds"] = args.rounds
+        if args.episodes_per_round is not None:
+            changes["episodes_per_round"] = args.episodes_per_round
+        config = replace(config, **changes)
+    summary = train_policies(
+        scale=resolve_scale(args.scale),
+        seed=args.seed,
+        checkpoint_root=args.checkpoints,
+        runner=runner,
+        config=config,
+        verbose=not args.json,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "train": _cmd_train,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,12 @@ evaluation reuses one profiling pass per video.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -86,6 +90,66 @@ class ExperimentScale:
             trace_duration_s=1500.0,
         )
 
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """Smoke-test scale: seconds, not minutes (CI and quick demos)."""
+        return cls(
+            name="tiny",
+            num_videos=2,
+            num_traces=3,
+            step1_ratings=4,
+            step2_ratings=2,
+            pensieve_episodes=8,
+            trace_duration_s=400.0,
+        )
+
+
+def resolve_checkpoint_store(
+    checkpoint_root: Optional[Union[str, Path]] = None,
+) -> Optional["CheckpointStore"]:
+    """Resolve the checkpoint store experiments load policies from.
+
+    Resolution order: the explicit ``checkpoint_root`` argument, the
+    ``REPRO_CHECKPOINTS`` environment variable, then a ``checkpoints/``
+    directory under the working directory.  Returns ``None`` when the
+    resolved root does not exist (a store is never created implicitly).
+    """
+    root = checkpoint_root
+    if root is None:
+        env_root = os.environ.get("REPRO_CHECKPOINTS")
+        root = Path(env_root) if env_root else Path("checkpoints")
+    if not Path(root).is_dir():
+        return None
+    from repro.training.checkpoint import CheckpointStore
+
+    return CheckpointStore(root)
+
+
+def _checkpoint_digest(metadata: dict) -> str:
+    """Digest of one checkpoint's metadata (config, trained episodes, save
+    index, metrics).  Content-based — unlike a bare save index it cannot
+    collide when a store is deleted and rebuilt from scratch — while two
+    bit-identical training runs still share it (and their cached cells)."""
+    canonical = json.dumps(metadata, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def checkpoint_fingerprint(
+    checkpoint_root: Optional[Union[str, Path]] = None,
+) -> str:
+    """Content fingerprint of the checkpoints a run would load: every
+    checkpoint name with its metadata digest.  Part of the cache identity
+    of checkpoint-using specs — retraining changes the digests, so stale
+    artifacts are recomputed instead of silently served."""
+    store = resolve_checkpoint_store(checkpoint_root)
+    if store is None:
+        return "no-store"
+    parts = [
+        f"{name}@{_checkpoint_digest(store.metadata(name))}"
+        for name in store.names()
+    ]
+    return ";".join(parts) if parts else "empty-store"
+
 
 class ExperimentContext:
     """Caches the artefacts every experiment needs."""
@@ -96,6 +160,7 @@ class ExperimentContext:
         seed: int = 7,
         oracle: Optional[GroundTruthOracle] = None,
         runner: Optional[BatchRunner] = None,
+        checkpoint_root: Optional[Union[str, Path]] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.quick()
         self.seed = int(seed)
@@ -107,6 +172,15 @@ class ExperimentContext:
             duration_s=self.scale.trace_duration_s,
             seed=seed + 1,
         )
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        #: Optional :class:`~repro.experiments.results.CellCache` the
+        #: registry attaches so grid sweeps resume from finished cells.
+        self.cell_cache = None
+        #: Where each RL policy came from: ``checkpoint:<name>`` /
+        #: ``installed`` / ``ad-hoc-training`` (provenance for ResultSets).
+        self.trained_agent_sources: Dict[str, str] = {}
         self._profiles: Dict[str, SensitivityProfile] = {}
         self._profiler: Optional[SenseiProfiler] = None
         self._trained_pensieve: Optional[PensieveABR] = None
@@ -220,12 +294,16 @@ class ExperimentContext:
                 "pensieve must be a (non-SENSEI) PensieveABR",
             )
             self._trained_pensieve = pensieve
+            self.trained_agent_sources.setdefault("pensieve", "installed")
         if sensei_pensieve is not None:
             require(
                 isinstance(sensei_pensieve, SenseiPensieveABR),
                 "sensei_pensieve must be a SenseiPensieveABR",
             )
             self._trained_sensei_pensieve = sensei_pensieve
+            self.trained_agent_sources.setdefault(
+                "sensei-pensieve", "installed"
+            )
 
     def load_trained_agents(
         self,
@@ -245,29 +323,107 @@ class ExperimentContext:
             ),
         )
 
+    def checkpoint_store(self) -> Optional["CheckpointStore"]:
+        """The versioned checkpoint store this context loads policies from
+        (see :func:`resolve_checkpoint_store`; ``None`` when the resolved
+        root does not exist — a store is never created implicitly)."""
+        return resolve_checkpoint_store(self.checkpoint_root)
+
+    def _find_checkpoint(
+        self, base_name: str, want_sensei: bool
+    ) -> Optional[str]:
+        """The checkpoint name :meth:`_checkpoint_policy` would load, or
+        ``None`` — resolved from metadata alone, without loading weights.
+
+        Prefers ``<name>-best`` over ``<name>-final`` over ``<name>``,
+        matching the names the training subsystem writes.
+        """
+        store = self.checkpoint_store()
+        if store is None:
+            return None
+        wanted_kind = "sensei-pensieve" if want_sensei else "pensieve"
+        names = set(store.names())
+        for candidate in (f"{base_name}-best", f"{base_name}-final", base_name):
+            if candidate not in names:
+                continue
+            if str(store.metadata(candidate)["kind"]) == wanted_kind:
+                return candidate
+        return None
+
+    def trained_policy_provenance(self, base_name: str) -> str:
+        """Where :meth:`trained_pensieve` / :meth:`trained_sensei_pensieve`
+        would source this policy from — without training or loading it.
+
+        ``installed`` / ``checkpoint:<name>@<metadata digest>`` /
+        ``ad-hoc-training``.  Grid cell keys embed this, so cells computed
+        with one checkpoint generation never masquerade as another's.
+        """
+        if base_name in self.trained_agent_sources:
+            return self.trained_agent_sources[base_name]
+        want_sensei = base_name == "sensei-pensieve"
+        candidate = self._find_checkpoint(base_name, want_sensei)
+        if candidate is None:
+            return "ad-hoc-training"
+        store = self.checkpoint_store()
+        digest = _checkpoint_digest(store.metadata(candidate))
+        return f"checkpoint:{candidate}@{digest}"
+
+    def _checkpoint_policy(
+        self, base_name: str, want_sensei: bool
+    ) -> Optional[PensieveABR]:
+        """The best available checkpoint of one policy family, or ``None``."""
+        candidate = self._find_checkpoint(base_name, want_sensei)
+        if candidate is None:
+            return None
+        store = self.checkpoint_store()
+        abr = store.load(candidate)
+        digest = _checkpoint_digest(store.metadata(candidate))
+        self.trained_agent_sources[base_name] = (
+            f"checkpoint:{candidate}@{digest}"
+        )
+        return abr
+
     def trained_pensieve(self) -> PensieveABR:
-        """Pensieve agent trained on this context's videos and traces."""
+        """Pensieve agent for this context's grids.
+
+        Loads the newest versioned checkpoint (``pensieve-best`` →
+        ``pensieve-final``) from :meth:`checkpoint_store` by default; only
+        when no checkpoint exists does it fall back to ad-hoc
+        :class:`PensieveTrainer` training at this scale.
+        """
         if self._trained_pensieve is None:
-            agent = PensieveABR(config=PensieveConfig(seed=self.seed + 21))
-            trainer = PensieveTrainer(agent, seed=self.seed + 22)
-            trainer.train(
-                self.videos(), self.traces(),
-                episodes=self.scale.pensieve_episodes,
-            )
-            self._trained_pensieve = agent
+            loaded = self._checkpoint_policy("pensieve", want_sensei=False)
+            if loaded is not None:
+                self._trained_pensieve = loaded
+            else:
+                agent = PensieveABR(config=PensieveConfig(seed=self.seed + 21))
+                trainer = PensieveTrainer(agent, seed=self.seed + 22)
+                trainer.train(
+                    self.videos(), self.traces(),
+                    episodes=self.scale.pensieve_episodes,
+                )
+                self.trained_agent_sources["pensieve"] = "ad-hoc-training"
+                self._trained_pensieve = agent
         return self._trained_pensieve
 
     def trained_sensei_pensieve(self) -> SenseiPensieveABR:
-        """SENSEI-Pensieve agent trained with weights in state and reward."""
+        """SENSEI-Pensieve agent for this context's grids (checkpoint-first,
+        like :meth:`trained_pensieve`; ad-hoc training puts the weights in
+        state and reward)."""
         if self._trained_sensei_pensieve is None:
-            agent = make_sensei_pensieve(seed=self.seed + 31)
-            trainer = PensieveTrainer(agent, seed=self.seed + 32)
-            trainer.train(
-                self.videos(), self.traces(),
-                episodes=self.scale.pensieve_episodes,
-                weights_by_video=self.weights_by_video(),
-            )
-            self._trained_sensei_pensieve = agent
+            loaded = self._checkpoint_policy("sensei-pensieve", want_sensei=True)
+            if loaded is not None:
+                self._trained_sensei_pensieve = loaded
+            else:
+                agent = make_sensei_pensieve(seed=self.seed + 31)
+                trainer = PensieveTrainer(agent, seed=self.seed + 32)
+                trainer.train(
+                    self.videos(), self.traces(),
+                    episodes=self.scale.pensieve_episodes,
+                    weights_by_video=self.weights_by_video(),
+                )
+                self.trained_agent_sources["sensei-pensieve"] = "ad-hoc-training"
+                self._trained_sensei_pensieve = agent
         return self._trained_sensei_pensieve
 
     # ------------------------------------------------------------ simulation

@@ -15,6 +15,7 @@ from repro.core.scheduler import SchedulerConfig
 from repro.crowd.campaign import CampaignConfig, MTurkCampaign
 from repro.crowd.worker import WorkerPool
 from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import experiment
 from repro.player.simulator import simulate_session
 from repro.qoe.ksqi import KSQIModel
 from repro.qoe.lstm_qoe import LSTMQoEModel
@@ -59,6 +60,7 @@ def _split(
     )
 
 
+@experiment("fig02-15", group="qoe", figures=("2", "15"))
 def fig02_fig15_model_accuracy(
     context: ExperimentContext,
     train_fraction: float = 0.6,
@@ -100,6 +102,7 @@ def fig02_fig15_model_accuracy(
     }
 
 
+@experiment("fig16", group="qoe", figures=("16",))
 def fig16_cost_pruning_sweeps(
     context: ExperimentContext,
     video_id: str = "soccer1",
@@ -167,6 +170,7 @@ def fig16_cost_pruning_sweeps(
     return {"video_id": video_id, "sweeps": sweeps}
 
 
+@experiment("fig12c", group="qoe", figures=("12c",))
 def fig12c_cost_vs_qoe(
     context: ExperimentContext,
     video_id: str = "mountain",
@@ -228,6 +232,7 @@ def fig12c_cost_vs_qoe(
     }
 
 
+@experiment("appendix-b", group="qoe", figures=("Appendix B/C",))
 def appendix_b_rating_sanitization(
     context: ExperimentContext,
     video_id: str = "soccer1",

@@ -1,0 +1,277 @@
+"""Typed, versioned experiment artifacts.
+
+A :class:`ResultSet` is what :func:`repro.experiments.registry.run` returns:
+the experiment's data dict plus provenance metadata (spec, spec hash, git
+revision, scale, seed, wall time, environment fingerprint).
+
+An :class:`ArtifactStore` persists result sets content-addressed by
+:meth:`~repro.experiments.spec.ExperimentSpec.spec_hash` —
+
+::
+
+    <root>/<experiment>/<spec_hash>/result.json    # full typed payload
+    <root>/<experiment>/<spec_hash>/result.csv     # best-effort tabular view
+    <root>/cells/<context_hash>/<key_hash>.json    # finished grid cells
+
+— so re-running an identical spec is a pure cache hit, and an interrupted
+grid resumes from its finished (algorithm, video, trace) cells via
+:class:`CellCache` instead of recomputing them.  Cells are keyed by
+:meth:`~repro.experiments.spec.ExperimentSpec.context_hash`, which means
+figures that sweep the same grid (12a/13/14/headline…) share cells.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.spec import ExperimentSpec
+from repro.utils.validation import require
+
+#: Bump when the on-disk layout changes incompatibly; loaders refuse newer
+#: formats instead of misreading them (mirrors the checkpoint store).
+RESULTSET_FORMAT_VERSION = 1
+
+_RESULT_FILE = "result.json"
+_CSV_FILE = "result.csv"
+
+
+@dataclass
+class ResultSet:
+    """One experiment run's typed output.
+
+    Attributes
+    ----------
+    experiment: registered experiment name.
+    spec: the :class:`ExperimentSpec` that produced the data.
+    data: the experiment function's (JSON-serialisable) result dict.
+    meta: provenance — git revision, scale, seed, wall time, environment.
+    cache_hit: ``True`` when this set was served from an
+        :class:`ArtifactStore` rather than recomputed (never persisted).
+    """
+
+    experiment: str
+    spec: ExperimentSpec
+    data: Dict[str, object]
+    meta: Dict[str, object] = field(default_factory=dict)
+    cache_hit: bool = False
+
+    @property
+    def spec_hash(self) -> str:
+        """Content address of the producing spec."""
+        return self.spec.spec_hash()
+
+    def data_json(self) -> str:
+        """Canonical JSON of the data — the bit-identity the seeding
+        guarantees are asserted on."""
+        return json.dumps(self.data, sort_keys=True)
+
+    def to_payload(self) -> Dict[str, object]:
+        """Full JSON-serialisable payload (what ``result.json`` holds)."""
+        return {
+            "format_version": RESULTSET_FORMAT_VERSION,
+            "experiment": self.experiment,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "meta": dict(self.meta),
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_payload` output."""
+        version = int(payload.get("format_version", 0))
+        require(
+            version <= RESULTSET_FORMAT_VERSION,
+            f"result set has format version {version}; "
+            f"this build reads up to {RESULTSET_FORMAT_VERSION}",
+        )
+        return cls(
+            experiment=str(payload["experiment"]),
+            spec=ExperimentSpec.from_dict(payload["spec"]),
+            data=dict(payload["data"]),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    # ------------------------------------------------------------- reporting
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """A tabular view of the data for CSV export / the ``report``
+        subcommand: the experiment's ``rows`` when it publishes them,
+        otherwise the scalar top-level entries as (key, value) pairs."""
+        rows = self.data.get("rows")
+        if isinstance(rows, list) and rows and all(
+            isinstance(row, dict) for row in rows
+        ):
+            return rows
+        flat = [
+            {"key": key, "value": value}
+            for key, value in sorted(self.data.items())
+            if isinstance(value, (int, float, str, bool))
+        ]
+        return flat
+
+
+class CellCache:
+    """Finished-cell store one grid sweep reads/writes while running.
+
+    Each cell is one scalar-ish JSON value under a string key (e.g.
+    ``grid/SENSEI/soccer1/trace-02``).  ``read=False`` turns lookups off
+    (used by ``--force`` so a forced rerun recomputes but still repairs the
+    cache); a ``None`` directory disables the cache entirely, which is also
+    the no-store default of :func:`repro.experiments.registry.run`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None],
+        read: bool = True,
+        write: bool = True,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.read = bool(read)
+        self.write = bool(write)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: str) -> Optional[object]:
+        """The cached value for ``key``, or ``None``."""
+        if self.directory is None or not self.read:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # A cell truncated by a crash mid-write is a miss, not an
+            # error: resuming interrupted grids is the cache's whole job.
+            self.misses += 1
+            return None
+        if payload.get("key") != key:  # hash-prefix collision: treat as miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["value"]
+
+    def put(self, key: str, value: object) -> None:
+        """Persist one finished cell (atomically: write-then-rename, so a
+        kill mid-write never leaves a truncated cell behind)."""
+        if self.directory is None or not self.write:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        scratch = path.with_suffix(".tmp")
+        scratch.write_text(
+            json.dumps({"key": key, "value": value}, sort_keys=True)
+        )
+        scratch.replace(path)
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+class ArtifactStore:
+    """Content-addressed, versioned store of :class:`ResultSet`s."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ----------------------------------------------------------------- paths
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Directory one spec's artifacts live in."""
+        return self.root / _safe_name(spec.experiment) / spec.spec_hash()
+
+    def cell_cache(
+        self, spec: ExperimentSpec, read: bool = True
+    ) -> CellCache:
+        """The finished-cell cache shared by every spec with this spec's
+        :meth:`~repro.experiments.spec.ExperimentSpec.context_hash`."""
+        return CellCache(self.root / "cells" / spec.context_hash(), read=read)
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, spec: ExperimentSpec) -> Optional[ResultSet]:
+        """The stored result set for ``spec``, or ``None`` when absent."""
+        path = self.path_for(spec) / _RESULT_FILE
+        if not path.exists():
+            return None
+        result = ResultSet.from_payload(json.loads(path.read_text()))
+        require(
+            result.spec_hash == spec.spec_hash(),
+            f"artifact at {path} does not match spec hash {spec.spec_hash()}",
+        )
+        result.cache_hit = True
+        return result
+
+    # ------------------------------------------------------------------ save
+
+    def save(self, result: ResultSet) -> Path:
+        """Persist ``result.json`` + ``result.csv``; returns the directory."""
+        directory = self.path_for(result.spec)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / _RESULT_FILE).write_text(
+            json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        rows = result.summary_rows()
+        if rows:
+            columns: List[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+            with (directory / _CSV_FILE).open("w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=columns)
+                writer.writeheader()
+                writer.writerows(rows)
+        return directory
+
+    # ----------------------------------------------------------------- query
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Summaries of every stored result set (for ``repro report``)."""
+        found: List[Dict[str, object]] = []
+        if not self.root.exists():
+            return found
+        for path in sorted(self.root.glob(f"*/*/{_RESULT_FILE}")):
+            payload = json.loads(path.read_text())
+            meta = payload.get("meta", {})
+            found.append(
+                {
+                    "experiment": payload.get("experiment"),
+                    "spec_hash": payload.get("spec_hash"),
+                    "scale": payload.get("spec", {}).get("scale"),
+                    "seed": payload.get("spec", {}).get("seed"),
+                    "git_revision": meta.get("git_revision"),
+                    "wall_time_s": meta.get("wall_time_s"),
+                    "path": str(path.parent),
+                }
+            )
+        return found
+
+    def find(self, token: str) -> Optional[ResultSet]:
+        """Look an artifact up by experiment name or spec-hash prefix.
+
+        Names resolve to the most recently written matching artifact.
+        """
+        matches = [
+            path
+            for path in self.root.glob(f"*/*/{_RESULT_FILE}")
+            if path.parent.name.startswith(token)
+            or path.parent.parent.name == _safe_name(token)
+        ]
+        if not matches:
+            return None
+        latest = max(matches, key=lambda path: path.stat().st_mtime)
+        return ResultSet.from_payload(json.loads(latest.read_text()))

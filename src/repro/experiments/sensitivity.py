@@ -14,6 +14,7 @@ import numpy as np
 from repro.crowd.campaign import CampaignConfig, MTurkCampaign
 from repro.cv.highlights import all_highlight_models
 from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import experiment
 from repro.utils.stats import cdf_points, normalize_to_unit, spearman_correlation
 from repro.video.encoder import EncodedVideo, SyntheticEncoder
 from repro.video.library import VideoLibrary
@@ -38,6 +39,7 @@ def _series_true_qoe(item) -> List[float]:
     return [oracle.true_qoe(r) for r in make_video_series(encoded, incident)]
 
 
+@experiment("table1", group="sensitivity", figures=("Table 1",))
 def table1_video_set(context: ExperimentContext) -> Dict[str, object]:
     """Table 1: the 16-video test set (name, genre, length, source)."""
     rows = context.library.table1_rows()
@@ -66,6 +68,7 @@ def _short_clip(context: ExperimentContext, video_id: str, num_chunks: int) -> E
     return encoder.encode(clip_source, context.library.ladder)
 
 
+@experiment("fig01", group="sensitivity", figures=("1",))
 def fig01_video_series_mos(
     context: ExperimentContext,
     video_id: str = "soccer1",
@@ -99,6 +102,7 @@ def fig01_video_series_mos(
     }
 
 
+@experiment("fig03", group="sensitivity", figures=("3",))
 def fig03_qoe_gap_cdf(
     context: ExperimentContext,
     window_chunks: int = 3,
@@ -134,6 +138,7 @@ def fig03_qoe_gap_cdf(
     }
 
 
+@experiment("fig04", group="sensitivity", figures=("4",))
 def fig04_incident_positions(
     context: ExperimentContext,
     video_id: str = "soccer1",
@@ -156,6 +161,7 @@ def fig04_incident_positions(
     }
 
 
+@experiment("fig05", group="sensitivity", figures=("5",))
 def fig05_incident_rank_correlation(context: ExperimentContext) -> Dict[str, object]:
     """Figure 5: per-video rank correlation of QoE between incident types."""
     corr_1s_vs_4s: List[float] = []
@@ -195,6 +201,7 @@ def fig05_incident_rank_correlation(context: ExperimentContext) -> Dict[str, obj
     }
 
 
+@experiment("fig20", group="sensitivity", figures=("20",))
 def fig20_cv_models(
     context: ExperimentContext,
     video_ids: Sequence[str] = ("lava", "tank", "animal", "soccer2"),

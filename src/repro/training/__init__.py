@@ -42,6 +42,7 @@ from repro.training.curriculum import (
     ScenarioCurriculum,
     congestion_onset_trace,
 )
+from repro.training.pipeline import DEFAULT_TRAINING, train_policies
 from repro.training.trainer import (
     RoundStats,
     Trainer,
@@ -52,6 +53,8 @@ from repro.training.trainer import (
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
+    "DEFAULT_TRAINING",
+    "train_policies",
     "CheckpointInfo",
     "CheckpointStore",
     "CurriculumConfig",

@@ -5,8 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.abr.pensieve import PensieveABR, PensieveConfig
+from repro.core.sensei_abr import SenseiPensieveABR, make_sensei_pensieve
 from repro.experiments.common import ExperimentContext, ExperimentScale
 from repro.experiments import abr_eval, qoe_models, sensitivity
+from repro.training.checkpoint import CheckpointStore
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +54,114 @@ class TestContext:
 
     def test_gain_over(self, tiny_context):
         assert tiny_context.gain_over(0.6, 0.5) == pytest.approx(0.2)
+
+    def test_profiler_is_cached(self, tiny_context):
+        assert tiny_context.profiler() is tiny_context.profiler()
+
+    def test_tiny_scale_preset(self):
+        scale = ExperimentScale.tiny()
+        assert scale.name == "tiny"
+        assert scale.num_videos == 2
+
+
+class TestContextAgentCaching:
+    """Profile/agent caching and the checkpoint-first policy resolution."""
+
+    def _scale(self, **overrides):
+        fields = dict(
+            name="tiny-rl",
+            num_videos=1,
+            num_traces=1,
+            step1_ratings=4,
+            step2_ratings=2,
+            pensieve_episodes=2,
+            trace_duration_s=400.0,
+        )
+        fields.update(overrides)
+        return ExperimentScale(**fields)
+
+    def test_install_validates_types(self, tmp_path):
+        context = ExperimentContext(
+            scale=self._scale(), seed=5, checkpoint_root=tmp_path
+        )
+        with pytest.raises(ValueError, match="non-SENSEI"):
+            context.install_trained_agents(pensieve=make_sensei_pensieve(seed=1))
+        with pytest.raises(ValueError, match="SenseiPensieveABR"):
+            context.install_trained_agents(
+                sensei_pensieve=PensieveABR(config=PensieveConfig(seed=1))
+            )
+
+    def test_installed_agents_take_priority(self, tmp_path):
+        context = ExperimentContext(
+            scale=self._scale(), seed=5, checkpoint_root=tmp_path
+        )
+        agent = PensieveABR(config=PensieveConfig(seed=2))
+        context.install_trained_agents(pensieve=agent)
+        assert context.trained_pensieve() is agent
+        assert context.trained_agent_sources["pensieve"] == "installed"
+
+    def test_checkpoint_store_resolution(self, tmp_path):
+        missing = ExperimentContext(
+            scale=self._scale(), seed=5,
+            checkpoint_root=tmp_path / "never-created",
+        )
+        assert missing.checkpoint_store() is None
+        existing_root = tmp_path / "checkpoints"
+        existing_root.mkdir()
+        context = ExperimentContext(
+            scale=self._scale(), seed=5, checkpoint_root=existing_root
+        )
+        assert context.checkpoint_store() is not None
+
+    def test_trained_pensieve_loads_checkpoint_by_default(self, tmp_path):
+        store = CheckpointStore(tmp_path / "checkpoints")
+        saved = PensieveABR(config=PensieveConfig(seed=31))
+        store.save(saved, "pensieve-best")
+        context = ExperimentContext(
+            scale=self._scale(), seed=5,
+            checkpoint_root=tmp_path / "checkpoints",
+        )
+        loaded = context.trained_pensieve()
+        assert context.trained_agent_sources["pensieve"].startswith(
+            "checkpoint:pensieve-best@"
+        )
+        assert loaded.config.seed == 31
+        assert not isinstance(loaded, SenseiPensieveABR)
+        # Cached: a second call returns the same instance.
+        assert context.trained_pensieve() is loaded
+
+    def test_checkpoint_preference_best_over_final(self, tmp_path):
+        store = CheckpointStore(tmp_path / "checkpoints")
+        store.save(PensieveABR(config=PensieveConfig(seed=41)), "pensieve-final")
+        store.save(PensieveABR(config=PensieveConfig(seed=42)), "pensieve-best")
+        context = ExperimentContext(
+            scale=self._scale(), seed=5,
+            checkpoint_root=tmp_path / "checkpoints",
+        )
+        assert context.trained_pensieve().config.seed == 42
+
+    def test_sensei_checkpoint_resolution(self, tmp_path):
+        store = CheckpointStore(tmp_path / "checkpoints")
+        store.save(make_sensei_pensieve(seed=51), "sensei-pensieve-best")
+        context = ExperimentContext(
+            scale=self._scale(), seed=5,
+            checkpoint_root=tmp_path / "checkpoints",
+        )
+        agent = context.trained_sensei_pensieve()
+        assert isinstance(agent, SenseiPensieveABR)
+        assert context.trained_agent_sources["sensei-pensieve"].startswith(
+            "checkpoint:sensei-pensieve-best@"
+        )
+
+    def test_ad_hoc_fallback_without_checkpoints(self, tmp_path):
+        empty_root = tmp_path / "checkpoints"
+        empty_root.mkdir()
+        context = ExperimentContext(
+            scale=self._scale(), seed=5, checkpoint_root=empty_root
+        )
+        agent = context.trained_pensieve()
+        assert agent.trained_episodes > 0
+        assert context.trained_agent_sources["pensieve"] == "ad-hoc-training"
 
 
 class TestSensitivityExperiments:

@@ -1,0 +1,75 @@
+"""Tests for the bench reporter and shared provenance helpers
+(`repro/engine/report.py`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.report import (
+    BenchReport,
+    environment_fingerprint,
+    git_revision,
+    read_bench_report,
+    write_bench_report,
+)
+
+
+class TestBenchReport:
+    def test_to_dict_round_trips_fields(self):
+        report = BenchReport(
+            sessions_per_sec=120.5,
+            decisions_per_sec={"Fugu": 1000.0},
+            grid={"speedup": 4.1, "cells": 48},
+        )
+        payload = report.to_dict()
+        assert payload["sessions_per_sec"] == 120.5
+        assert payload["decisions_per_sec"] == {"Fugu": 1000.0}
+        assert payload["grid"]["speedup"] == 4.1
+
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        written = write_bench_report(
+            BenchReport(sessions_per_sec=10.0), path=path
+        )
+        assert written == path
+        payload = read_bench_report(path)
+        assert payload["sessions_per_sec"] == 10.0
+        # The environment fingerprint is stamped automatically.
+        assert payload["meta"]["python"]
+        assert payload["meta"]["platform"]
+        assert payload["meta"]["cpu_count"] >= 1
+
+    def test_write_preserves_explicit_meta(self, tmp_path):
+        report = BenchReport(meta={"python": "overridden"})
+        payload = read_bench_report(
+            write_bench_report(report, path=tmp_path / "b.json")
+        )
+        assert payload["meta"]["python"] == "overridden"
+
+    def test_read_missing_returns_none(self, tmp_path):
+        assert read_bench_report(tmp_path / "absent.json") is None
+
+    def test_written_json_is_sorted_and_terminated(self, tmp_path):
+        path = write_bench_report(BenchReport(), path=tmp_path / "b.json")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(
+            json.dumps(json.loads(text), sort_keys=True)
+        )
+
+
+class TestProvenanceHelpers:
+    def test_environment_fingerprint_keys(self):
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == {"python", "platform", "cpu_count"}
+        assert isinstance(fingerprint["python"], str)
+
+    def test_git_revision_in_repo(self):
+        revision = git_revision()
+        # The test suite runs from a work tree, so a 40-hex hash comes back.
+        assert revision is not None
+        assert len(revision) == 40
+        assert all(c in "0123456789abcdef" for c in revision)
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(cwd=tmp_path) is None
