@@ -9,6 +9,8 @@ context shared across benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import ExperimentContext
@@ -20,10 +22,18 @@ from repro.experiments.spec import ExperimentSpec
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
-    """Quick-scale experiment context shared by all benchmarks, built from
-    the same declarative spec path the CLI uses (only scale/seed matter
-    here; the experiment name is per-test)."""
-    return context_for(ExperimentSpec(experiment="benchmarks", scale="quick", seed=7))
+    """Experiment context shared by all benchmarks, built from the same
+    declarative spec path the CLI uses (only scale/seed matter here; the
+    experiment name is per-test).
+
+    ``REPRO_BENCH_SCALE`` overrides the scale (default ``quick``): the CI
+    ``bench-smoke`` job runs the whole harness at ``tiny`` scale, where
+    only the report schema and the lockstep/serial equivalence matter.
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return context_for(
+        ExperimentSpec(experiment="benchmarks", scale=scale, seed=7)
+    )
 
 
 def print_table(title: str, rows) -> None:

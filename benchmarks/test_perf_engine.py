@@ -4,16 +4,20 @@ Measures, in one run, the engine's three headline rates and writes them to
 ``BENCH_engine.json`` at the repo root so the perf trajectory is tracked
 from PR to PR:
 
-* **grid speedup** — wall-clock of the quick-scale ``_evaluate_grid`` under
-  the seed implementation (reference planner, per-chunk ``np.stack``
+* **grid speedup** — wall-clock of the ``_evaluate_grid`` sweep under the
+  seed implementation (reference planner, per-chunk ``np.stack``
   observations, segment-walking trace integration, sequential loop) versus
-  the engine (memoised candidate trees, vectorised evaluator, precomputed
-  sessions, BatchRunner), measured back to back in the same process;
+  the engine (lockstep multi-session core: batched cross-session planner,
+  memoised candidate trees, precomputed sessions), measured back to back in
+  the same process;
 * **sessions/sec** — engine-path streaming sessions per second;
 * **decisions/sec** — planner decisions per second per ABR family.
 
 Run via ``make bench`` or
 ``PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py -v``.
+``REPRO_BENCH_SCALE=tiny`` shrinks the grid to smoke-test scale (used by
+the CI ``bench-smoke`` job, which asserts the report schema rather than any
+speedup threshold).
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import pytest
 
 from repro.abr.fugu import FuguABR
 from repro.abr.mpc import ModelPredictiveABR
-from repro.abr.planner import clear_plan_cache
+from repro.abr.planner import clear_plan_cache, plan_cache_info
 from repro.core.sensei_abr import SenseiFuguABR
 from repro.engine import BatchRunner, BenchReport, write_bench_report
 from repro.experiments.abr_eval import _evaluate_grid
@@ -35,25 +39,21 @@ from repro.player.simulator import simulate_session
 #: Written at the repo root; tracked in version control as the perf record.
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
-#: The tracked perf target, recorded in the report: the engine should keep
-#: the quick-scale grid at least this much faster than the seed path.
-TARGET_GRID_SPEEDUP = 3.0
+#: The tracked perf target, recorded in the report: the lockstep engine
+#: should keep the quick-scale grid at least this much faster than the seed
+#: path (PR 1's per-session engine reached 4.28x).
+TARGET_GRID_SPEEDUP = 10.0
 
 #: The hard assertion floor.  Deliberately far below the target so that
-#: scheduler noise on a loaded or throttled CI host cannot turn a ~4x
+#: scheduler noise on a loaded or throttled CI host cannot turn a ~10x
 #: measurement into a red suite; an engine that stops being meaningfully
 #: faster than the seed path still fails loudly, and the real ratio is
 #: recorded in BENCH_engine.json every run.
-MIN_GRID_SPEEDUP = 1.5
+MIN_GRID_SPEEDUP = 2.0
 
-
-@pytest.fixture(scope="module")
-def bench_report():
-    """Accumulates measurements; written to disk after the module runs."""
-    report = BenchReport()
-    yield report
-    write_bench_report(report, REPORT_PATH)
-    print(f"\nwrote {REPORT_PATH}")
+#: Timed measurement attempts per side (best-of): the quick grid runs in
+#: well under a second, so single samples are at the mercy of host noise.
+MEASUREMENT_ATTEMPTS = 3
 
 
 def _seed_grid(context) -> Dict[str, Dict[Tuple[str, str], float]]:
@@ -61,8 +61,8 @@ def _seed_grid(context) -> Dict[str, Dict[Tuple[str, str], float]]:
 
     Reference planner (``use_fast_planner=False``), seed observation
     building (``use_precompute=False``) and the segment-walking trace
-    integrator — the implementation this PR replaced, kept callable behind
-    flags precisely so this comparison stays honest.
+    integrator — the implementation the engine replaced, kept callable
+    behind flags precisely so this comparison stays honest.
     """
     algorithms = {
         "BBA": (context.make_bba(), False),
@@ -87,17 +87,26 @@ def _seed_grid(context) -> Dict[str, Dict[Tuple[str, str], float]]:
     return scores
 
 
+@pytest.fixture(scope="module")
+def bench_report():
+    """Accumulates measurements; written to disk after the module runs."""
+    report = BenchReport()
+    yield report
+    path = write_bench_report(report, REPORT_PATH)
+    print(f"\nwrote {path}")
+
+
 @pytest.mark.benchmark(group="engine")
 @pytest.mark.slow
 def test_grid_speedup_vs_seed(context, bench_report):
-    """Quick-scale grid: engine vs seed path, target >= 3x (floor 1.5x)."""
+    """Grid sweep: lockstep engine vs seed path, target >= 10x (floor 2x)."""
     context.weights_by_video()  # profile videos outside the timed region
 
-    # Best of two runs per side: one grid is ~seconds, so scheduler noise on
-    # a loaded host can move a single sample by tens of percent.
+    # Best-of-N per side: one grid is ~seconds, so scheduler noise on a
+    # loaded host can move a single sample by tens of percent.
     seed_seconds = float("inf")
     seed_scores = None
-    for _ in range(2):
+    for _ in range(MEASUREMENT_ATTEMPTS):
         clear_plan_cache()  # the baseline must not ride on a warm engine cache
         t0 = time.perf_counter()
         seed_scores = _seed_grid(context)
@@ -106,32 +115,78 @@ def test_grid_speedup_vs_seed(context, bench_report):
     runner = BatchRunner.auto()
     engine_seconds = float("inf")
     engine_scores = None
-    for _ in range(2):
+    for _ in range(MEASUREMENT_ATTEMPTS):
         t0 = time.perf_counter()
         engine_scores = _evaluate_grid(context, runner=runner)
         engine_seconds = min(engine_seconds, time.perf_counter() - t0)
 
+    # Context for the trajectory: the PR 1 engine (fast planner, serial
+    # per-session loop) on the same grid, same process, same host.
+    serial_runner = BatchRunner(backend="serial")
+    serial_engine_seconds = float("inf")
+    for _ in range(MEASUREMENT_ATTEMPTS):
+        t0 = time.perf_counter()
+        _evaluate_grid(context, runner=serial_runner)
+        serial_engine_seconds = min(
+            serial_engine_seconds, time.perf_counter() - t0
+        )
+
     speedup = seed_seconds / engine_seconds
     cells = sum(len(v) for v in engine_scores.values())
+    cache = plan_cache_info()
     bench_report.grid = {
         "scale": context.scale.name,
         "cells": cells,
         "backend": runner.backend,
         "seed_seconds": round(seed_seconds, 4),
         "engine_seconds": round(engine_seconds, 4),
+        "serial_engine_seconds": round(serial_engine_seconds, 4),
         "speedup": round(speedup, 2),
+        "speedup_vs_serial_engine": round(
+            serial_engine_seconds / engine_seconds, 2
+        ),
         "target_speedup": TARGET_GRID_SPEEDUP,
+    }
+    bench_report.plan_cache = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "currsize": cache.currsize,
     }
     print(
         f"\ngrid: seed {seed_seconds:.2f}s -> engine {engine_seconds:.2f}s "
-        f"({speedup:.1f}x, {cells} cells, backend={runner.backend})"
+        f"({speedup:.1f}x, {cells} cells, backend={runner.backend}, "
+        f"plan cache {cache.hits} hits / {cache.misses} misses)"
     )
 
     # The engine must reproduce the seed grid, not merely outrun it.
     for name, cells_map in seed_scores.items():
         for key, value in cells_map.items():
             assert engine_scores[name][key] == pytest.approx(value, abs=1e-6)
-    assert speedup >= MIN_GRID_SPEEDUP
+    # Smoke-scale runs (REPRO_BENCH_SCALE=tiny in CI) record the numbers
+    # without enforcing a speedup: sub-100ms timings on shared runners are
+    # noise, and the smoke job's purpose is schema + equivalence.
+    if context.scale.name != "tiny":
+        assert speedup >= MIN_GRID_SPEEDUP
+
+
+@pytest.mark.benchmark(group="engine")
+def test_lockstep_matches_serial_on_one_cell(context, bench_report):
+    """One grid cell, lockstep vs serial, bitwise — the bench-smoke anchor."""
+    import numpy as np
+
+    from repro.engine.runner import WorkOrder
+
+    encoded = context.videos()[0]
+    trace = context.traces()[0]
+    orders = [
+        WorkOrder(abr=SenseiFuguABR(), encoded=encoded, trace=trace,
+                  chunk_weights=context.weights(encoded.source.video_id))
+    ]
+    serial = BatchRunner(backend="serial").run_orders(orders)[0]
+    lockstep = BatchRunner(backend="lockstep").run_orders(orders)[0]
+    assert np.array_equal(serial.rendered.levels, lockstep.rendered.levels)
+    assert np.array_equal(serial.rendered.stalls_s, lockstep.rendered.stalls_s)
+    assert serial.session_duration_s == lockstep.session_duration_s
 
 
 @pytest.mark.benchmark(group="engine")

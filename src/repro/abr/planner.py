@@ -13,10 +13,18 @@ Two engine-level optimisations keep trace-scale experiments fast:
   start_level)`` — the same handful of trees is rebuilt at every chunk of
   every session — so :func:`enumerate_level_sequences` memoises them;
 * :func:`evaluate_candidates` scores the full (stall option x throughput
-  scenario x candidate) cross product as one 3-D tensor instead of looping
+  scenario x candidate) cross product as one tensor instead of looping
   over stalls and scenarios in Python.  The seed's loop implementation is
   retained behind ``vectorized=False`` as the reference the vectorised path
-  is tested against and the baseline the perf harness measures.
+  is tested against and the baseline the perf harness measures;
+* :func:`evaluate_candidates_batch` stacks a *session* axis in front of that
+  tensor — one 4-D ``(session x stall x scenario x candidate)`` evaluation
+  scores a whole lockstep shard of sessions at once.  The single-session
+  vectorised path is the batch kernel applied to a one-session stack, and
+  the kernel deliberately uses only elementwise operations plus explicit
+  loops over the small axes (horizon, scenarios, stalls), so adding
+  sessions to the stack cannot change any session's floating-point result:
+  the lockstep engine's bit-identity guarantee rests on this.
 """
 
 from __future__ import annotations
@@ -97,6 +105,15 @@ def enumerate_level_sequences(num_levels: int, horizon: int,
     """
     require(num_levels >= 1, "num_levels must be >= 1")
     require(horizon >= 1, "horizon must be >= 1")
+    # Canonicalise the memo key: callers pass a mix of Python ints and numpy
+    # integer scalars (e.g. ``observation.last_level`` extracted from an
+    # int array in the lockstep engine), and the batch engine relies on one
+    # shared read-only tree per (num_levels, horizon, max_step, start_level)
+    # signature — never a per-session rebuild.
+    num_levels = int(num_levels)
+    horizon = int(horizon)
+    max_step = None if max_step is None else int(max_step)
+    start_level = None if start_level is None else int(start_level)
     if max_step is None:
         start_level = None  # irrelevant without a step restriction
     elif start_level is not None and start_level < 0:
@@ -106,9 +123,43 @@ def enumerate_level_sequences(num_levels: int, horizon: int,
     return _build_level_sequences(num_levels, horizon, max_step, start_level)
 
 
+def plan_tree_key(
+    num_levels: int,
+    horizon: int,
+    max_step: Optional[int],
+    start_level: Optional[int],
+) -> Tuple[int, int, Optional[int], Optional[int]]:
+    """The canonical memo key :func:`enumerate_level_sequences` caches under.
+
+    The lockstep engine groups sessions by this key so that every session in
+    a batch shares one memoised candidate tree (sessions whose keys differ —
+    e.g. a different previously-played level under a ``max_step``
+    restriction — genuinely plan over different trees and are batched
+    separately).
+    """
+    num_levels = int(num_levels)
+    horizon = int(horizon)
+    max_step = None if max_step is None else int(max_step)
+    if max_step is None:
+        start_level = None
+    else:
+        start_level = None if start_level is None else int(start_level)
+        if start_level is not None and start_level < 0:
+            start_level = None
+    return (num_levels, horizon, max_step, start_level)
+
+
 def clear_plan_cache() -> None:
-    """Drop all memoised candidate trees (tests and benchmarks)."""
+    """Drop all memoised candidate trees (tests and benchmarks).
+
+    Also drops the derived per-matrix caches (prefix trees, switch-term
+    constants): they hold strong references to the candidate matrices, so
+    leaving them behind would pin every superseded tree in memory across
+    clear/replan cycles.
+    """
     _cached_level_sequences.cache_clear()
+    _PREFIX_TREES.clear()
+    _SWITCH_TERMS.clear()
 
 
 def plan_cache_info():
@@ -201,6 +252,436 @@ def evaluate_candidates(
     )
 
 
+def _per_session_or_scalar(value, num_sessions: int):
+    """A scalar when every session shares the value, else an (N, 1, 1) view.
+
+    Scalar operands keep the kernel's broadcasts on the fast ufunc path;
+    the produced value is numerically identical either way.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return float(arr)
+    if arr.size and bool(np.all(arr == arr.flat[0])):
+        return float(arr.flat[0])
+    return np.broadcast_to(arr, (num_sessions,))[:, None, None]
+
+
+#: Prefix trees memoised per read-only candidate matrix (the matrices the
+#: planner uses come from :func:`_cached_level_sequences`, so there are only
+#: a handful of distinct ones per process).  Strong references keep the
+#: id()-keys valid.
+_PREFIX_TREES: dict = {}
+
+#: Small memo of ``np.arange`` index vectors used by the kernel.
+_ARANGE: dict = {}
+
+
+def _arange(size: int) -> np.ndarray:
+    indices = _ARANGE.get(size)
+    if indices is None:
+        indices = np.arange(size)
+        indices.setflags(write=False)
+        _ARANGE[size] = indices
+    return indices
+
+
+class _CandidateTree:
+    """The candidate prefix tree plus flattened per-node index vectors.
+
+    ``steps`` holds one ``(levels, parents)`` pair per horizon step;
+    ``flat_steps`` / ``flat_levels`` concatenate every step's nodes so the
+    kernel can gather all node sizes (and divide by the scenario rates) in
+    one shot, with ``offsets`` delimiting each step's slice.
+    """
+
+    __slots__ = ("steps", "flat_steps", "flat_levels", "offsets")
+
+    def __init__(self, steps) -> None:
+        self.steps = steps
+        sizes = [levels.size for levels, _ in steps]
+        self.offsets = [0]
+        for size in sizes:
+            self.offsets.append(self.offsets[-1] + size)
+        self.flat_steps = np.concatenate(
+            [
+                np.full(levels.size, step, dtype=int)
+                for step, (levels, _) in enumerate(steps)
+            ]
+        )
+        self.flat_levels = np.concatenate([levels for levels, _ in steps])
+
+
+def _prefix_tree(candidates: np.ndarray) -> _CandidateTree:
+    """The candidate prefix tree of a (C, h) level-sequence matrix.
+
+    Candidates sharing a prefix share buffer evolution: the kernel's
+    horizon recursion runs over the *unique* prefixes of each length
+    instead of every candidate at every step.  Equal prefixes are merged
+    only when adjacent — which is always the case for the lexicographic
+    trees :func:`enumerate_level_sequences` builds, and merely loses
+    sharing (never correctness) for arbitrary matrices.  The final step
+    never merges, so leaves map 1:1 onto candidate rows, in order.
+    """
+    key = id(candidates)
+    cached = _PREFIX_TREES.get(key)
+    if cached is not None and cached[0] is candidates:
+        return cached[1]
+    num_candidates, horizon = candidates.shape
+    steps = []
+    group = None  # previous-level node id per candidate row
+    for step in range(horizon):
+        if step == horizon - 1:
+            steps.append((candidates[:, step].copy(), group))
+            break
+        boundary = np.ones(num_candidates, dtype=bool)
+        boundary[1:] = np.any(
+            candidates[1:, : step + 1] != candidates[:-1, : step + 1], axis=1
+        )
+        ids = np.cumsum(boundary) - 1
+        first_rows = np.flatnonzero(boundary)
+        parents = group[first_rows] if group is not None else None
+        steps.append((candidates[first_rows, step].copy(), parents))
+        group = ids
+    tree = _CandidateTree(steps)
+    if not candidates.flags.writeable:
+        _PREFIX_TREES[key] = (candidates, tree)
+    return tree
+
+
+#: Per-(candidates, ladder) switch-term constants, memoised like the trees.
+_SWITCH_TERMS: dict = {}
+
+
+def _switch_constants(candidates: np.ndarray, bitrates: np.ndarray):
+    """(candidate first-step bitrates, per-step later switch terms).
+
+    Both depend only on the candidate matrix and the ladder, so they are
+    shared by every kernel call planning over that pair.
+    """
+    key = (id(candidates), bitrates.tobytes())
+    cached = _SWITCH_TERMS.get(key)
+    if cached is not None and cached[0] is candidates:
+        return cached[1], cached[2]
+    candidate_bitrates = bitrates[candidates]               # (C, h)
+    top_bitrate = bitrates[-1]
+    first_bitrates = candidate_bitrates[:, 0].copy()
+    later_switch = np.abs(
+        candidate_bitrates[:, 1:] - candidate_bitrates[:, :-1]
+    ) / top_bitrate                                         # (C, h-1)
+    if not candidates.flags.writeable:
+        _SWITCH_TERMS[key] = (candidates, first_bitrates, later_switch)
+    return first_bitrates, later_switch
+
+
+def clear_prefix_tree_cache() -> None:
+    """Drop memoised prefix trees and switch constants (tests/benchmarks)."""
+    _PREFIX_TREES.clear()
+    _SWITCH_TERMS.clear()
+
+
+@dataclass(frozen=True)
+class BatchPlanEvaluation:
+    """Per-session outcome of one batched candidate evaluation.
+
+    Attributes mirror :class:`PlanEvaluation`, with one array entry per
+    session in the batch; ``num_candidates`` is the per-session evaluated
+    count (candidates x stall options x scenarios — identical across the
+    batch by construction).
+    """
+
+    best_level: np.ndarray
+    best_stall_s: np.ndarray
+    best_score: np.ndarray
+    expected_rebuffer_s: np.ndarray
+    num_candidates: int
+
+
+def evaluate_candidates_batch(
+    candidates: np.ndarray,
+    sizes: np.ndarray,
+    quality: np.ndarray,
+    weights: np.ndarray,
+    buffer_s: np.ndarray,
+    last_level: np.ndarray,
+    scenario_tputs: np.ndarray,
+    scenario_probs: np.ndarray,
+    bitrates_kbps: np.ndarray,
+    quality_model: KSQIModel,
+    stall_options_s: Sequence[float],
+    chunk_duration_s,
+    buffer_capacity_s,
+    candidate_mask: Optional[np.ndarray] = None,
+    need_expected_rebuffer: bool = True,
+    weights_uniform: Optional[bool] = None,
+) -> BatchPlanEvaluation:
+    """Score one candidate tree for a whole batch of sessions at once.
+
+    The 4-D ``(session, stall, scenario, candidate)`` generalisation of the
+    single-session tensor evaluation.  Every session in the batch must share
+    the candidate matrix, the bitrate ladder, the stall options and the
+    scenario *count*; everything else (buffer levels, upcoming sizes and
+    quality, sensitivity weights, scenario values) is per-session.
+
+    Bit-identity contract: the kernel uses only elementwise array
+    operations, gathers, and explicit Python loops over the small axes
+    (horizon steps, scenarios, stall options).  Elementwise IEEE-754
+    arithmetic is independent of batch shape, so each session's results are
+    bitwise equal to evaluating it alone — which is exactly what the serial
+    planners do (:func:`evaluate_candidates` routes through this kernel
+    with a one-session stack).  Reductions must stay explicit loops: a
+    BLAS-backed ``@`` or ``einsum`` may reassociate sums differently for
+    different batch shapes.
+
+    ``candidate_mask`` lets sessions whose *own* candidate tree is a
+    first-level-filtered subset of ``candidates`` share one call: a
+    ``max_step`` tree for a given previous level is exactly the
+    unrestricted-start tree filtered on the first level, in the same
+    enumeration order, so masking the invalid candidates to ``-inf`` before
+    the (first-maximum) selection reproduces the per-session evaluation —
+    including tie-breaks — bit for bit.
+
+    Parameters
+    ----------
+    candidates: (C, h) shared level-sequence matrix.
+    sizes / quality: (N, h, L) per-session upcoming-chunk matrices.
+    weights: (N, h) per-session sensitivity weights over the horizon.
+    buffer_s: (N,) current buffer occupancies.
+    last_level: (N,) previously played levels (-1 for none).
+    scenario_tputs / scenario_probs: (N, S) throughput scenarios.
+    bitrates_kbps: (L,) shared encoding ladder.
+    quality_model: shared per-chunk quality model.
+    stall_options_s: shared proactive-stall options, in consideration order.
+    chunk_duration_s / buffer_capacity_s: scalars or (N,) arrays.
+    candidate_mask: optional (N, C) bool — False marks candidates a session
+        must not select (each session needs at least one True entry).
+    need_expected_rebuffer: skip the rebuffer-expectation accumulation when
+        the caller ignores it (``expected_rebuffer_s`` returns zeros); the
+        selected levels, stalls and scores are unaffected.
+    weights_uniform: pass True only when every weight is exactly 1.0 (skips
+        the in-kernel check and the weight multiplies, which are bit-exact
+        no-ops then); False always takes the general path, which is also
+        correct for uniform weights.  None (default) checks the array.
+    """
+    num_sessions, horizon = weights.shape
+    num_candidates = candidates.shape[0]
+    bitrates = np.asarray(bitrates_kbps, dtype=float)
+    top_bitrate = bitrates[-1]
+    coeffs = quality_model.coefficients
+    previous_bitrate = bitrates[np.maximum(last_level, 0)]  # (N,)
+
+    step_index = _arange(horizon)
+    candidate_quality = quality[:, step_index, candidates]  # (N, C, h)
+    # Switch terms: only the first step depends on the session (previous
+    # level); later steps are per-(candidates, ladder) constants shared by
+    # every call over that pair, so they live as (C,)-sized rows broadcast
+    # into the accumulation instead of a full (N, C, h) tensor.  Per
+    # element the operation sequence (subtract, abs, divide) matches the
+    # flat formulation exactly.
+    first_bitrates, later_switch = _switch_constants(candidates, bitrates)
+    first_switch = np.abs(
+        first_bitrates[None, :] - previous_bitrate[:, None]
+    )
+    first_switch /= top_bitrate                             # (N, C)
+
+    # The quality and switch terms do not depend on the stall or scenario:
+    # fold them (and the per-chunk intercept) into one static score per
+    # (session, candidate), leaving only the rebuffer term dynamic.  The
+    # weight reductions are explicit loops over the horizon (see the
+    # bit-identity contract above).
+    # Weight-uniform batches (every planner without sensitivity weights)
+    # skip the weight multiplies outright: ``x * 1.0 == x`` bit for bit, so
+    # the accumulated sums are unchanged.
+    uniform_weights = (
+        bool(np.all(weights == 1.0))
+        if weights_uniform is None else weights_uniform
+    )
+    weight_total = weights[:, 0].copy()                     # (N,)
+    if uniform_weights:
+        quality_dot = candidate_quality[:, :, 0].copy()
+        switch_dot = first_switch
+        for step in range(1, horizon):
+            weight_total += weights[:, step]
+            quality_dot += candidate_quality[:, :, step]
+            switch_dot += later_switch[None, :, step - 1]
+    else:
+        quality_dot = candidate_quality[:, :, 0] * weights[:, 0, None]
+        switch_dot = first_switch * weights[:, 0, None]
+        step_product = np.empty_like(quality_dot)
+        for step in range(1, horizon):
+            weight_total += weights[:, step]
+            np.multiply(
+                candidate_quality[:, :, step], weights[:, step, None],
+                out=step_product,
+            )
+            quality_dot += step_product
+            np.multiply(
+                later_switch[None, :, step - 1], weights[:, step, None],
+                out=step_product,
+            )
+            switch_dot += step_product
+    static_scores = (
+        coeffs.intercept * weight_total[:, None]
+        + (coeffs.quality_weight / 100.0) * quality_dot
+        - coeffs.switch_weight * switch_dot
+    )                                                       # (N, C)
+
+    rates_bytes_per_s = np.maximum(scenario_tputs, 1e-3) * 1e6 / 8.0
+    stalls = np.asarray(stall_options_s, dtype=float)
+    num_stalls = stalls.size
+    num_scenarios = scenario_tputs.shape[1]
+    chunk_gain = _per_session_or_scalar(chunk_duration_s, num_sessions)
+    capacity = _per_session_or_scalar(buffer_capacity_s, num_sessions)
+
+    # Download times for every tree node at once, shared by every stall
+    # option below; each step's slice is a view into the flat tensor.
+    tree = _prefix_tree(candidates)
+    flat_node_sizes = sizes[:, tree.flat_steps, tree.flat_levels]  # (N, ΣM)
+    flat_download_times = (
+        flat_node_sizes[:, None, :] / rates_bytes_per_s[:, :, None]
+    )                                                       # (N, S, ΣM)
+    offsets = tree.offsets
+    node_download_times = [
+        flat_download_times[:, :, offsets[step]:offsets[step + 1]]
+        for step in range(horizon)
+    ]                                                       # (N, S, M_k)
+
+    # Selection state, mirroring the reference loop per session: stalls
+    # considered in order, the first candidate index wins ties within a
+    # stall, and a later stall must *strictly* beat the incumbent.
+    session_index = _arange(num_sessions)
+    best_score = np.full(num_sessions, -np.inf)
+    best_level = np.full(num_sessions, int(candidates[0, 0]))
+    best_stall = np.full(num_sessions, float(stalls[0]))
+    best_candidate = np.zeros(num_sessions, dtype=int)
+
+    for stall_index in range(num_stalls):
+        # The buffer/rebuffer recursion runs over the candidate *prefix
+        # tree*: candidates sharing their first k levels share buffer
+        # evolution, so each unique prefix is evolved once and fanned out
+        # to its children by a gather.  Per leaf, the adds happen in the
+        # same step order with the same operand values as a flat
+        # per-candidate recursion, so the result is bit-identical — just
+        # without recomputing shared prefixes.
+        start_levels = buffer_s + stalls[stall_index]       # (N,)
+        state = None  # (2, N, S, M): plane 0 buffers, plane 1 rebuffer
+        for step, (node_levels, node_parents) in enumerate(tree.steps):
+            dt = node_download_times[step]                  # (N, S, M)
+            if step == 0:
+                num_nodes = node_levels.size
+                state = np.zeros(
+                    (2, num_sessions, num_scenarios, num_nodes)
+                )
+                state[0] = start_levels[:, None, None]
+            else:
+                # One gather fans both planes out to this step's nodes; it
+                # produces a fresh array, so the updates run in place.
+                state = state[:, :, :, node_parents]
+            parent_buffers = state[0]
+            parent_weighted = state[1]
+            shortfall = dt - parent_buffers
+            np.maximum(shortfall, 0.0, out=shortfall)
+            if uniform_weights:
+                parent_weighted += shortfall
+            else:
+                parent_weighted += shortfall * weights[:, step, None, None]
+            if step < horizon - 1:
+                # The final step's buffer update feeds nothing: skip it (it
+                # is also the widest level of the tree).
+                np.subtract(parent_buffers, dt, out=parent_buffers)
+                np.maximum(parent_buffers, 0.0, out=parent_buffers)
+                parent_buffers += chunk_gain
+                np.minimum(parent_buffers, capacity, out=parent_buffers)
+        weighted_rebuffer = state[1]
+
+        stall_penalty = (
+            coeffs.rebuffer_weight * stalls[stall_index] * weights[:, 0]
+        )                                                   # (N,)
+        # plan_scores = static - rebuffer_weight * rebuffer - penalty,
+        # built in place over the weighted-rebuffer buffer.  The expectation
+        # must run over the *scores* (not distribute over the scenario sum):
+        # a proactive stall's penalty can offset its rebuffer reduction
+        # EXACTLY, and the reference loop resolves such ties towards the
+        # earlier stall option — reassociating the algebra would break the
+        # tie by one ulp and flip the decision.
+        plan_scores = weighted_rebuffer                     # (N, S, C)
+        np.multiply(plan_scores, coeffs.rebuffer_weight, out=plan_scores)
+        np.subtract(static_scores[:, None, :], plan_scores, out=plan_scores)
+        np.subtract(plan_scores, stall_penalty[:, None, None], out=plan_scores)
+        expected_scores = scenario_probs[:, 0, None] * plan_scores[:, 0, :]
+        partial = np.empty_like(expected_scores)            # (N, C)
+        for scenario in range(1, num_scenarios):
+            np.multiply(
+                scenario_probs[:, scenario, None],
+                plan_scores[:, scenario, :],
+                out=partial,
+            )
+            expected_scores += partial
+
+        if candidate_mask is not None:
+            # Masked-out candidates never win the (first-maximum)
+            # selection, so each session's choice over its own subtree is
+            # reproduced exactly.
+            expected_scores = np.where(
+                candidate_mask, expected_scores, -np.inf
+            )
+
+        top = np.argmax(expected_scores, axis=1)
+        score = expected_scores[session_index, top]
+        better = score > best_score
+        best_score = np.where(better, score, best_score)
+        best_level = np.where(better, candidates[top, 0], best_level)
+        best_stall = np.where(better, stalls[stall_index], best_stall)
+        best_candidate = np.where(better, top, best_candidate)
+
+    if need_expected_rebuffer:
+        # The caller only ever reads the rebuffer expectation of the
+        # *chosen* plan, so it is recomputed here along each session's
+        # single winning path instead of being tracked for every candidate
+        # through the main recursion.  Same download times, same buffer
+        # recursion, same accumulation order — bit-identical values at a
+        # tiny fraction of the traffic.
+        path_levels = candidates[best_candidate]            # (N, h)
+        path_sizes = sizes[
+            session_index[:, None], step_index[None, :], path_levels
+        ]                                                   # (N, h)
+        path_dt = path_sizes[:, None, :] / rates_bytes_per_s[:, :, None]
+        path_gain = (
+            chunk_gain if isinstance(chunk_gain, float) else chunk_gain[:, :, 0]
+        )
+        path_capacity = (
+            capacity if isinstance(capacity, float) else capacity[:, :, 0]
+        )
+        path_buffer = np.empty((num_sessions, num_scenarios))
+        path_buffer[:] = (buffer_s + best_stall)[:, None]
+        path_total = np.zeros_like(path_buffer)
+        for step in range(horizon):
+            dt = path_dt[:, :, step]
+            shortfall = dt - path_buffer
+            np.maximum(shortfall, 0.0, out=shortfall)
+            path_total += shortfall
+            if step < horizon - 1:
+                np.subtract(path_buffer, dt, out=path_buffer)
+                np.maximum(path_buffer, 0.0, out=path_buffer)
+                path_buffer += path_gain
+                np.minimum(path_buffer, path_capacity, out=path_buffer)
+        best_rebuffer = scenario_probs[:, 0] * path_total[:, 0]
+        for scenario in range(1, num_scenarios):
+            best_rebuffer = (
+                best_rebuffer
+                + scenario_probs[:, scenario] * path_total[:, scenario]
+            )
+    else:
+        best_rebuffer = np.zeros(num_sessions)
+
+    return BatchPlanEvaluation(
+        best_level=best_level,
+        best_stall_s=best_stall,
+        best_score=best_score,
+        expected_rebuffer_s=best_rebuffer,
+        num_candidates=num_candidates * num_stalls * num_scenarios,
+    )
+
+
 def _evaluate_vectorized(
     observation: PlayerObservation,
     candidates: np.ndarray,
@@ -210,94 +691,39 @@ def _evaluate_vectorized(
     stall_options_s: Sequence[float],
     chunk_duration: float,
 ) -> PlanEvaluation:
-    """One 3-D scored tensor over (stall option, scenario, candidate)."""
+    """The batch kernel applied to a one-session stack.
+
+    Routing the single-session path through :func:`evaluate_candidates_batch`
+    is what makes the lockstep engine's results bit-identical to serial
+    execution: both run the same kernel, whose per-session arithmetic is
+    independent of the batch shape.
+    """
     horizon = candidates.shape[1]
-    num_candidates = candidates.shape[0]
-    sizes = observation.upcoming_sizes_bytes[:horizon]
-    quality = observation.upcoming_quality[:horizon]
-    bitrates = np.asarray(observation.ladder.bitrates_kbps, dtype=float)
-    top_bitrate = bitrates[-1]
-    coeffs = quality_model.coefficients
-    previous_bitrate = (
-        bitrates[observation.last_level]
-        if observation.last_level >= 0
-        else bitrates[0]
+    batch = evaluate_candidates_batch(
+        candidates=candidates,
+        sizes=observation.upcoming_sizes_bytes[:horizon][None],
+        quality=observation.upcoming_quality[:horizon][None],
+        weights=weights[None, :],
+        buffer_s=np.array([observation.buffer_s]),
+        last_level=np.array([int(observation.last_level)]),
+        scenario_tputs=np.array(
+            [[t for t, _ in throughput_scenarios]], dtype=float
+        ),
+        scenario_probs=np.array(
+            [[p for _, p in throughput_scenarios]], dtype=float
+        ),
+        bitrates_kbps=np.asarray(observation.ladder.bitrates_kbps, dtype=float),
+        quality_model=quality_model,
+        stall_options_s=stall_options_s,
+        chunk_duration_s=chunk_duration,
+        buffer_capacity_s=observation.buffer_capacity_s,
     )
-
-    step_index = np.arange(horizon)
-    candidate_sizes = sizes[step_index, candidates]        # (C, h)
-    candidate_quality = quality[step_index, candidates]    # (C, h)
-    candidate_bitrates = bitrates[candidates]              # (C, h)
-    switch_terms = np.empty_like(candidate_bitrates)
-    switch_terms[:, 0] = candidate_bitrates[:, 0] - previous_bitrate
-    switch_terms[:, 1:] = candidate_bitrates[:, 1:] - candidate_bitrates[:, :-1]
-    np.abs(switch_terms, out=switch_terms)
-    switch_terms /= top_bitrate
-
-    # The quality and switch terms do not depend on the stall or scenario:
-    # fold them (and the per-chunk intercept) into one static score per
-    # candidate, leaving only the rebuffer term dynamic.
-    static_scores = (
-        coeffs.intercept * float(weights.sum())
-        + (coeffs.quality_weight / 100.0) * (candidate_quality @ weights)
-        - coeffs.switch_weight * (switch_terms @ weights)
-    )                                                      # (C,)
-
-    scenario_tputs = np.array([t for t, _ in throughput_scenarios], dtype=float)
-    probabilities = np.array([p for _, p in throughput_scenarios], dtype=float)
-    rates_bytes_per_s = np.maximum(scenario_tputs, 1e-3) * 1e6 / 8.0
-    download_times = (
-        candidate_sizes[None, :, :] / rates_bytes_per_s[:, None, None]
-    )                                                      # (S, C, h)
-
-    stalls = np.asarray(stall_options_s, dtype=float)
-    num_stalls = stalls.size
-    num_scenarios = rates_bytes_per_s.size
-    buffer_levels = np.empty((num_stalls, num_scenarios, num_candidates))
-    buffer_levels[:] = (observation.buffer_s + stalls)[:, None, None]
-    weighted_rebuffer = np.zeros_like(buffer_levels)
-    total_rebuffer = np.zeros_like(buffer_levels)
-    for step in range(horizon):
-        dt = download_times[None, :, :, step]              # (1, S, C)
-        shortfall = np.maximum(dt - buffer_levels, 0.0)
-        weighted_rebuffer += shortfall * weights[step]
-        total_rebuffer += shortfall
-        buffer_levels = np.minimum(
-            np.maximum(buffer_levels - dt, 0.0) + chunk_duration,
-            observation.buffer_capacity_s,
-        )
-
-    stall_penalties = coeffs.rebuffer_weight * stalls * weights[0]  # (St,)
-    plan_scores = (
-        static_scores[None, None, :]
-        - coeffs.rebuffer_weight * weighted_rebuffer
-        - stall_penalties[:, None, None]
-    )                                                      # (St, S, C)
-    expected_scores = np.einsum("s,tsc->tc", probabilities, plan_scores)
-    expected_rebuffer = np.einsum("s,tsc->tc", probabilities, total_rebuffer)
-
-    # Selection mirrors the reference loop: stalls considered in order, the
-    # first candidate index wins ties within a stall, and a later stall must
-    # *strictly* beat the incumbent.
-    best_score = -np.inf
-    best_level = int(candidates[0, 0])
-    best_stall = float(stalls[0])
-    best_rebuffer = 0.0
-    for stall_index in range(num_stalls):
-        top_index = int(np.argmax(expected_scores[stall_index]))
-        score = float(expected_scores[stall_index, top_index])
-        if score > best_score:
-            best_score = score
-            best_level = int(candidates[top_index, 0])
-            best_stall = float(stalls[stall_index])
-            best_rebuffer = float(expected_rebuffer[stall_index, top_index])
-
     return PlanEvaluation(
-        best_level=best_level,
-        best_stall_s=best_stall,
-        best_score=best_score,
-        expected_rebuffer_s=best_rebuffer,
-        num_candidates=num_candidates * num_stalls * num_scenarios,
+        best_level=int(batch.best_level[0]),
+        best_stall_s=float(batch.best_stall_s[0]),
+        best_score=float(batch.best_score[0]),
+        expected_rebuffer_s=float(batch.expected_rebuffer_s[0]),
+        num_candidates=batch.num_candidates,
     )
 
 

@@ -8,9 +8,15 @@ sweeps fast without changing their results:
   slices (:class:`SessionPrecompute`) and fixed-size history ring buffers
   (:class:`HistoryRing`), so the per-chunk control loop allocates nothing it
   can precompute;
-* :mod:`repro.engine.runner` — :class:`BatchRunner`, which shards a list of
-  :class:`WorkOrder`s over a deterministic serial backend or a
-  ``ProcessPoolExecutor`` while preserving result ordering;
+* :mod:`repro.engine.lockstep` — the lockstep multi-session core:
+  :func:`run_orders_lockstep` advances a whole shard of sessions chunk-step
+  by chunk-step, batching the MPC/Fugu/SENSEI planner across sessions as
+  one ``(session x stall x scenario x candidate)`` tensor evaluation while
+  staying bit-identical to serial execution;
+* :mod:`repro.engine.runner` — :class:`BatchRunner`, which runs a list of
+  :class:`WorkOrder`s through a deterministic serial loop, the lockstep
+  core, or chunked shards over a ``ProcessPoolExecutor`` (each worker
+  running its shard in lockstep), always preserving result ordering;
 * :mod:`repro.engine.report` — the ``BENCH_engine.json`` reporter that
   tracks sessions/sec, decisions/sec and grid wall-clock across PRs.
 
@@ -20,6 +26,7 @@ benchmarks.
 
 from __future__ import annotations
 
+from repro.engine.lockstep import run_orders_lockstep, supports_lockstep
 from repro.engine.precompute import HistoryRing, SessionPrecompute
 from repro.engine.report import BenchReport, write_bench_report
 from repro.engine.runner import BatchRunner, WorkOrder
@@ -30,5 +37,7 @@ __all__ = [
     "HistoryRing",
     "SessionPrecompute",
     "WorkOrder",
+    "run_orders_lockstep",
+    "supports_lockstep",
     "write_bench_report",
 ]

@@ -1,0 +1,708 @@
+"""Lockstep multi-session simulation: batch the planner across sessions.
+
+The serial backend walks one :class:`~repro.player.session.StreamingSession`
+at a time, so a grid sweep pays the per-chunk Python and small-numpy-op
+overhead once per *session*.  The lockstep core runs a whole shard of
+:class:`~repro.engine.runner.WorkOrder`s together, chunk-step by chunk-step:
+
+* every session's state lives in a
+  :class:`~repro.player.session.SessionState` and is advanced by the exact
+  code the serial path uses (structure-of-arrays at the decision layer,
+  shared scalar stepping at the player layer), so state evolution is
+  bit-identical by construction;
+* for the planner ABR families (MPC, Fugu, SENSEI-Fugu) the per-decision
+  hot path — throughput prediction and candidate scoring — is evaluated
+  *across sessions*: predictor state is kept as arrays over the shard and
+  :func:`~repro.abr.planner.evaluate_candidates_batch` scores one stacked
+  ``(session x stall x scenario x candidate)`` tensor per candidate-tree
+  group instead of one small tensor per session;
+* every other ABR (BBA, rate-based, greedy RL policies, …) runs through a
+  generic per-session driver: one reset clone of the ABR per session,
+  decisions taken one session at a time against the same observations the
+  serial path builds — trivially identical, still amortising the shared
+  chunk-step loop.
+
+Bit-identity rests on two facts, both enforced by tests
+(``tests/test_lockstep.py``): the serial planners route through the same
+batch kernel with a one-session stack, and the kernel (plus the vectorised
+predictor state here) uses only elementwise operations and fixed-order
+reductions, which IEEE-754 evaluates identically regardless of how many
+sessions share the array.
+
+Sessions end at different chunk counts (ragged shards): finished sessions
+simply leave the live set while the rest keep stepping.
+
+The one ABR family lockstep refuses is exploration-mode RL policies
+(``greedy=False``): their action sampling consumes a *shared* RNG stream
+session after session under the serial backend, which no parallel
+decomposition can reproduce.  Those orders run serially, exactly as before
+(the training subsystem already handles them with per-episode reseeding —
+see :meth:`repro.ml.rl.ActorCriticAgent.reseed_exploration`).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, Decision
+from repro.abr.bba import BufferBasedABR
+from repro.abr.fugu import FuguABR
+from repro.abr.mpc import ModelPredictiveABR
+from repro.abr.planner import (
+    enumerate_level_sequences,
+    evaluate_candidates_batch,
+)
+from repro.abr.throughput import (
+    ErrorDistributionPredictor,
+    HarmonicMeanPredictor,
+)
+from repro.core.sensei_abr import SenseiFuguABR
+from repro.player.session import SessionState, StreamingSession, StreamResult
+
+
+#: Shared frozen no-stall decisions — one per level, reused across every
+#: session-step of a sweep (Decision is immutable, so sharing is safe).
+_ZERO_STALL_DECISIONS: Dict[int, Decision] = {}
+
+
+def _cached_decision(level: int) -> Decision:
+    decision = _ZERO_STALL_DECISIONS.get(level)
+    if decision is None:
+        decision = Decision(level=level)
+        _ZERO_STALL_DECISIONS[level] = decision
+    return decision
+
+
+def supports_lockstep(abr: ABRAlgorithm) -> bool:
+    """Whether lockstep execution reproduces serial results for this ABR.
+
+    False only for exploration-mode (``greedy=False``) RL policies, whose
+    serial results depend on one RNG stream shared across sessions.
+    """
+    return bool(getattr(abr, "greedy", True))
+
+
+def run_orders_lockstep(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
+    """Run work orders through the lockstep core; results align with input.
+
+    Orders are grouped by (ABR instance, player config): each group is one
+    lockstep shard.  Sessions are independent (every serial session starts
+    with ``abr.reset()``), so executing groups out of submission order
+    cannot change any result; the returned list is reassembled in
+    submission order regardless.
+    """
+    orders = list(orders)
+    results: List[Optional[StreamResult]] = [None] * len(orders)
+    groups: Dict[tuple, List[int]] = {}
+    for index, order in enumerate(orders):
+        groups.setdefault((id(order.abr), order.config), []).append(index)
+    for indices in groups.values():
+        abr = orders[indices[0]].abr
+        if not supports_lockstep(abr):
+            for index in indices:
+                results[index] = orders[index].run()
+            continue
+        group_results = _run_group(abr, [orders[index] for index in indices])
+        for index, result in zip(indices, group_results):
+            results[index] = result
+    return results
+
+
+def _run_group(abr: ABRAlgorithm, orders: Sequence["WorkOrder"]) -> List[StreamResult]:
+    """Run one shard of orders (shared ABR and config) in lockstep."""
+    sessions = [
+        StreamingSession(
+            encoded=order.encoded,
+            trace=order.trace,
+            abr=abr,
+            config=order.config,
+            chunk_weights=order.chunk_weights,
+        )
+        for order in orders
+    ]
+    states = [session.make_state() for session in sessions]
+    driver = _driver_for(abr, states)
+    live = list(range(len(states)))
+    while live:
+        decisions = driver.decide(live)
+        for state_index, decision in zip(live, decisions):
+            states[state_index].apply(decision)
+        live = [index for index in live if not states[index].done]
+    return [
+        state.finalize(abr_name=abr.name, trace_name=order.trace.name)
+        for state, order in zip(states, orders)
+    ]
+
+
+def _driver_for(abr: ABRAlgorithm, states: List[SessionState]):
+    """The most batched driver that still reproduces ``abr.decide`` exactly.
+
+    Exact-type checks: a subclass may override ``decide``, so anything not
+    literally one of the three planner classes (with its stock predictor and
+    the fast planner enabled) takes the generic per-session path.
+    """
+    if type(abr) is BufferBasedABR:
+        return _BBADriver(abr, states)
+    if getattr(abr, "use_fast_planner", False):
+        if (
+            type(abr) is ModelPredictiveABR
+            and type(abr.predictor) is HarmonicMeanPredictor
+        ):
+            return _MPCDriver(abr, states)
+        if (
+            type(abr) is FuguABR
+            and type(abr.predictor) is ErrorDistributionPredictor
+        ):
+            return _FuguDriver(abr, states)
+        if (
+            type(abr) is SenseiFuguABR
+            and type(abr.predictor) is ErrorDistributionPredictor
+        ):
+            return _SenseiFuguDriver(abr, states)
+    return _PerSessionDriver(abr, states)
+
+
+# ---------------------------------------------------------------- drivers
+
+
+class _PerSessionDriver:
+    """Generic fallback: one reset clone of the ABR per session.
+
+    Serial execution reuses one ABR instance with ``reset()`` between
+    sessions — the contract that makes sessions independent.  A deep copy of
+    the (reset) instance therefore decides identically, and per-session
+    clones let independent sessions interleave.
+    """
+
+    def __init__(self, abr: ABRAlgorithm, states: List[SessionState]) -> None:
+        self.states = states
+        self.clones = [copy.deepcopy(abr) for _ in states]
+        for clone in self.clones:
+            clone.reset()
+
+    def decide(self, live: List[int]) -> List[Decision]:
+        return [
+            self.clones[index].decide(self.states[index].observe())
+            for index in live
+        ]
+
+
+class _BBADriver:
+    """Buffer-based adaptation without the observation detour.
+
+    BBA's chunk map reads exactly one dynamic input — the buffer level — so
+    the lockstep driver applies :meth:`BufferBasedABR.decide`'s arithmetic
+    directly to each session's state, skipping the per-chunk observation
+    build entirely.  The operations (and therefore the chosen levels) are
+    identical to the serial path.
+    """
+
+    def __init__(self, abr: BufferBasedABR, states: List[SessionState]) -> None:
+        self.abr = abr
+        self.states = states
+
+    def decide(self, live: List[int]) -> List[Decision]:
+        reservoir = self.abr.reservoir_s
+        cushion = self.abr.cushion_s
+        decisions = []
+        for index in live:
+            state = self.states[index]
+            ladder = state.encoded.ladder
+            buffer_s = state.buffer.level_s
+            if buffer_s <= reservoir:
+                decisions.append(_cached_decision(ladder.lowest_level))
+            elif buffer_s >= reservoir + cushion:
+                decisions.append(_cached_decision(ladder.highest_level))
+            else:
+                fraction = (buffer_s - reservoir) / cushion
+                level = int(np.floor(fraction * (ladder.num_levels - 1) + 1e-9))
+                decisions.append(
+                    _cached_decision(ABRAlgorithm.clamp_level(level, ladder))
+                )
+        return decisions
+
+
+class _HarmonicMeanState:
+    """Vectorised :class:`HarmonicMeanPredictor` over a shard of sessions.
+
+    Stateless like its scalar counterpart; ``predict`` maps a rectangular
+    (session, history) matrix to per-session predictions with the same
+    arithmetic the scalar predictor applies to each row alone (the axis
+    reduction of a <= ``history_length``-wide row is the same fixed-order
+    sum ``harmonic_mean`` computes).
+    """
+
+    def __init__(self, predictor: HarmonicMeanPredictor) -> None:
+        self.window = predictor.window
+        self.default_mbps = predictor.default_mbps
+
+    def predict(self, histories: np.ndarray) -> np.ndarray:
+        if histories.shape[1] == 0:
+            return np.full(histories.shape[0], self.default_mbps)
+        recent = histories[:, -self.window:]
+        return recent.shape[1] / np.sum(1.0 / recent, axis=1)
+
+
+class _ErrorDistributionState:
+    """Vectorised :class:`ErrorDistributionPredictor` over a shard.
+
+    The scalar predictor's per-session state — ratio count, last
+    prediction, histogram counts — lives here as arrays indexed by session.
+    ``predict_distribution`` replicates the scalar update order exactly:
+    base prediction from the history, ratio recorded against the *previous*
+    prediction, then the binned distribution around the new prediction.
+    """
+
+    def __init__(
+        self, predictor: ErrorDistributionPredictor, num_sessions: int
+    ) -> None:
+        self.base = _HarmonicMeanState(predictor._base)
+        self.num_bins = predictor.num_bins
+        self.ratio_range = predictor.ratio_range
+        self.bin_centers = predictor._bin_centers
+        self.bin_edges = predictor._bin_edges
+        self.cold_start_probs = predictor._cold_start_probs
+        self.num_ratios = np.zeros(num_sessions, dtype=int)
+        self.last_prediction = np.zeros(num_sessions)
+        self.bin_counts = np.zeros((num_sessions, self.num_bins), dtype=int)
+
+    def predict_distribution(
+        self, live: np.ndarray, histories: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(throughputs, probabilities), each (len(live), num_bins)."""
+        prediction = self.base.predict(histories)
+        self._record_ratios(live, histories, prediction)
+        self.last_prediction[live] = prediction
+
+        smoothed = self.bin_counts[live] + 0.5
+        learned = smoothed / smoothed.sum(axis=1)[:, None]
+        cold = self.num_ratios[live] < 3
+        probabilities = np.where(
+            cold[:, None], self.cold_start_probs[None, :], learned
+        )
+        throughputs = prediction[:, None] * self.bin_centers[None, :]
+        return throughputs, probabilities
+
+    def _record_ratios(
+        self, live: np.ndarray, histories: np.ndarray, prediction: np.ndarray
+    ) -> None:
+        if histories.shape[1] == 0:
+            return
+        previous = self.last_prediction[live]
+        mask = previous > 0
+        if not np.any(mask):
+            return
+        ratios = histories[mask, -1] / previous[mask]
+        low, high = self.ratio_range
+        clipped = np.minimum(np.maximum(ratios, low), high)
+        indices = np.searchsorted(self.bin_edges, clipped, side="right") - 1
+        indices = np.minimum(np.maximum(indices, 0), self.num_bins - 1)
+        recorded = live[mask]
+        self.num_ratios[recorded] += 1
+        np.add.at(self.bin_counts, (recorded, indices), 1)
+
+
+class _PlannerDriverBase:
+    """Shared machinery of the batched planner drivers.
+
+    Gathers per-session planner inputs into arrays, groups live sessions by
+    candidate-tree signature (sessions at a different previously-played
+    level or a shorter end-of-video horizon plan over different trees), and
+    evaluates each group with one 4-D kernel call over the group's shared,
+    memoised candidate matrix.
+    """
+
+    def __init__(self, abr, states: List[SessionState]) -> None:
+        self.abr = abr
+        self.states = states
+        self.quality_model = abr.quality_model
+        self.max_level_step = abr.max_level_step
+        self.plan_horizon = abr.horizon
+        chunk_durations = np.array([state.chunk_duration for state in states])
+        # A shared scalar keeps the kernel's broadcasts on the fast path.
+        self.chunk_durations = (
+            float(chunk_durations[0])
+            if bool(np.all(chunk_durations == chunk_durations[0]))
+            else chunk_durations
+        )
+        self.buffer_capacity = states[0].config.buffer_capacity_s
+        self.obs_horizon = states[0].config.observation_horizon
+        self.bitrates = [
+            np.asarray(state.encoded.ladder.bitrates_kbps, dtype=float)
+            for state in states
+        ]
+        self.ladder_keys = [
+            tuple(bitrates.tolist()) for bitrates in self.bitrates
+        ]
+        # Shard-wide (session, chunk, level) size/quality/weight matrices:
+        # one gather per kernel call instead of a Python stacking loop.
+        # Rows past a shorter video's end stay zero and are never read —
+        # horizons shrink with the chunks remaining, and grouping is by
+        # horizon.  Skipped when ladders differ in width (stack fallback).
+        num_levels = {bitrates.size for bitrates in self.bitrates}
+        if len(num_levels) == 1:
+            max_chunks = max(state.num_chunks for state in states)
+            shape = (len(states), max_chunks, num_levels.pop())
+            self.sizes_all = np.zeros(shape)
+            self.quality_all = np.zeros(shape)
+            self.weights_all = np.zeros(shape[:2])
+            for index, state in enumerate(states):
+                self.sizes_all[index, : state.num_chunks] = (
+                    state.precompute.sizes_bytes
+                )
+                self.quality_all[index, : state.num_chunks] = (
+                    state.precompute.quality
+                )
+                self.weights_all[index, : state.num_chunks] = (
+                    state.chunk_weights
+                )
+        else:
+            self.sizes_all = None
+            self.quality_all = None
+            self.weights_all = None
+
+    def _histories(self, live: List[int]) -> np.ndarray:
+        """(len(live), samples) throughput histories — rectangular because
+        every live session has completed the same number of chunks."""
+        return np.stack(
+            [self.states[index].throughput_history.as_array() for index in live]
+        )
+
+    def _gather(self, live: List[int]):
+        """Per-session planner inputs for one chunk step."""
+        states = self.states
+        buffer_s = np.array([states[index].buffer.level_s for index in live])
+        last_levels = np.array([states[index].last_level for index in live])
+        horizons = [
+            min(
+                self.plan_horizon,
+                self.obs_horizon,
+                states[index].num_chunks - states[index].next_chunk,
+            )
+            for index in live
+        ]
+        return buffer_s, last_levels, horizons
+
+    #: Subtree groups smaller than this are merged into one masked-union
+    #: call: below it the per-call overhead outweighs the extra (masked-out)
+    #: candidates the union tree evaluates.
+    MERGE_BELOW = 4
+
+    #: Kernel calls are capped at this many sessions; larger groups are
+    #: sliced.  The kernel's working set per session is a few dozen KB, and
+    #: once a call outgrows the per-core cache its per-session cost jumps
+    #: several-fold — two half-size calls are then cheaper than one.
+    SPLIT_ABOVE = 8
+
+    def _plan_groups(
+        self,
+        live: List[int],
+        horizons: List[int],
+        last_levels: np.ndarray,
+        extra_keys: Optional[List[tuple]] = None,
+    ) -> Dict[tuple, Tuple[Optional[int], List[int]]]:
+        """Kernel-call groups: ``key -> (start_level, positions into live)``.
+
+        Primary grouping is by candidate-tree signature — (horizon, ladder,
+        previously-played level under the ``max_step`` restriction) — which
+        evaluates each group's exact (smallest) subtree.  Groups too small
+        to amortise a kernel call are merged per (horizon, ladder) into one
+        evaluation of the *unrestricted-start* tree with ``start_level ==
+        None``; the kernel then masks each merged session down to its own
+        subtree, which is an order-preserving first-level filter of the
+        union tree, so selection — ties included — matches the per-session
+        tree exactly.
+        """
+        subtree: Dict[tuple, List[int]] = {}
+        for position, index in enumerate(live):
+            start = int(last_levels[position])
+            if self.max_level_step is None or start < 0:
+                start = -1  # one shared tree regardless of history
+            key = (horizons[position], self.ladder_keys[index], start)
+            if extra_keys is not None:
+                key = key + (extra_keys[position],)
+            subtree.setdefault(key, []).append(position)
+        groups: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
+        for key, positions in subtree.items():
+            if len(positions) >= self.MERGE_BELOW:
+                start = key[2]
+                groups[key] = (start if start >= 0 else None, positions)
+            else:
+                merged_key = key[:2] + ("merged",) + key[3:]
+                entry = groups.setdefault(merged_key, (None, []))
+                entry[1].extend(positions)
+        if self.SPLIT_ABOVE is None:
+            return groups
+        split: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
+        for key, (start, positions) in groups.items():
+            if len(positions) <= self.SPLIT_ABOVE:
+                split[key] = (start, positions)
+                continue
+            slices = -(-len(positions) // self.SPLIT_ABOVE)
+            size = -(-len(positions) // slices)
+            for slice_index in range(slices):
+                chunk = positions[slice_index * size:(slice_index + 1) * size]
+                if chunk:
+                    split[key + (slice_index,)] = (start, chunk)
+        return split
+
+    def _evaluate_group(
+        self,
+        live: List[int],
+        positions: List[int],
+        horizon: int,
+        start_level: Optional[int],
+        buffer_s: np.ndarray,
+        last_levels: np.ndarray,
+        scenario_tputs: np.ndarray,
+        scenario_probs: np.ndarray,
+        stall_options_s: Sequence[float],
+        weights_rows: Optional[List[np.ndarray]] = None,
+        need_expected_rebuffer: bool = True,
+    ):
+        """One batched kernel call for a group sharing a candidate tree."""
+        states = self.states
+        members = [live[position] for position in positions]
+        chunk = states[members[0]].next_chunk
+        bitrates = self.bitrates[members[0]]
+        candidates = enumerate_level_sequences(
+            bitrates.size, horizon, max_step=self.max_level_step,
+            start_level=start_level,
+        )
+        group_last = last_levels[positions]
+        if start_level is not None or self.max_level_step is None:
+            candidate_mask = None  # the tree is already each session's own
+        else:
+            candidate_mask = (group_last[:, None] < 0) | (
+                np.abs(candidates[None, :, 0] - group_last[:, None])
+                <= self.max_level_step
+            )
+        if self.sizes_all is not None:
+            sizes = self.sizes_all[members, chunk:chunk + horizon]
+            quality = self.quality_all[members, chunk:chunk + horizon]
+        else:
+            sizes = np.stack(
+                [
+                    states[index].precompute.sizes_bytes[chunk:chunk + horizon]
+                    for index in members
+                ]
+            )
+            quality = np.stack(
+                [
+                    states[index].precompute.quality[chunk:chunk + horizon]
+                    for index in members
+                ]
+            )
+        if weights_rows is None:
+            weights = np.ones((len(members), horizon))
+        elif self.weights_all is not None:
+            weights = self.weights_all[members, chunk:chunk + horizon]
+        else:
+            weights = np.stack(
+                [weights_rows[position][:horizon] for position in positions]
+            )
+        return evaluate_candidates_batch(
+            candidates=candidates,
+            sizes=sizes,
+            quality=quality,
+            weights=weights,
+            buffer_s=buffer_s[positions],
+            last_level=group_last,
+            scenario_tputs=scenario_tputs[positions],
+            scenario_probs=scenario_probs[positions],
+            bitrates_kbps=bitrates,
+            quality_model=self.quality_model,
+            stall_options_s=stall_options_s,
+            chunk_duration_s=(
+                self.chunk_durations
+                if isinstance(self.chunk_durations, float)
+                else self.chunk_durations[members]
+            ),
+            buffer_capacity_s=self.buffer_capacity,
+            candidate_mask=candidate_mask,
+            need_expected_rebuffer=need_expected_rebuffer,
+            weights_uniform=weights_rows is None,
+        )
+
+
+class _MPCDriver(_PlannerDriverBase):
+    """Batched :class:`ModelPredictiveABR`: conservative point prediction,
+    one scenario, no stalls."""
+
+    def __init__(self, abr: ModelPredictiveABR, states) -> None:
+        super().__init__(abr, states)
+        self.predictor = _HarmonicMeanState(abr.predictor)
+
+    def decide(self, live: List[int]) -> List[Decision]:
+        predicted = self.predictor.predict(self._histories(live))
+        conservative = predicted / (1.0 + self.abr.robustness_discount)
+        scenario_tputs = conservative[:, None]
+        scenario_probs = np.ones((len(live), 1))
+        buffer_s, last_levels, horizons = self._gather(live)
+        levels = np.zeros(len(live), dtype=int)
+        groups = self._plan_groups(live, horizons, last_levels)
+        for key, (start_level, positions) in groups.items():
+            batch = self._evaluate_group(
+                live, positions, key[0], start_level, buffer_s, last_levels,
+                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
+                need_expected_rebuffer=False,
+            )
+            levels[positions] = batch.best_level
+        return [_cached_decision(int(level)) for level in levels]
+
+
+class _FuguDriver(_PlannerDriverBase):
+    """Batched :class:`FuguABR`: expectation over the learned
+    throughput-error distribution, no stalls."""
+
+    def __init__(self, abr: FuguABR, states) -> None:
+        super().__init__(abr, states)
+        self.predictor = _ErrorDistributionState(abr.predictor, len(states))
+
+    def decide(self, live: List[int]) -> List[Decision]:
+        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
+            np.asarray(live), self._histories(live)
+        )
+        buffer_s, last_levels, horizons = self._gather(live)
+        levels = np.zeros(len(live), dtype=int)
+        groups = self._plan_groups(live, horizons, last_levels)
+        for key, (start_level, positions) in groups.items():
+            batch = self._evaluate_group(
+                live, positions, key[0], start_level, buffer_s, last_levels,
+                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
+                need_expected_rebuffer=False,
+            )
+            levels[positions] = batch.best_level
+        return [_cached_decision(int(level)) for level in levels]
+
+
+class _SenseiFuguDriver(_PlannerDriverBase):
+    """Batched :class:`SenseiFuguABR`: weighted objective, two-phase
+    proactive-stall consideration, per-session stall budgets.
+
+    Replicates :meth:`SenseiFuguABR.decide` step for step: a no-stall
+    evaluation for every session, then — only for sessions whose stall
+    gate opens (predicted rebuffering, buffer floor, sensitivity shift,
+    remaining budget) — a second evaluation over the budget-allowed stall
+    options, adopted when it strictly beats the no-stall plan.
+    """
+
+    def __init__(self, abr: SenseiFuguABR, states) -> None:
+        super().__init__(abr, states)
+        self.predictor = _ErrorDistributionState(abr.predictor, len(states))
+        self.proactive_spent_s = np.zeros(len(states))
+
+    def decide(self, live: List[int]) -> List[Decision]:
+        abr = self.abr
+        states = self.states
+        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
+            np.asarray(live), self._histories(live)
+        )
+        buffer_s, last_levels, horizons = self._gather(live)
+        weights_rows = [
+            states[index].chunk_weights[
+                states[index].next_chunk:states[index].next_chunk
+                + horizons[position]
+            ]
+            for position, index in enumerate(live)
+        ]
+
+        count = len(live)
+        # Pre-gates of the stall consideration that do not depend on the
+        # plan evaluation: buffer floor, per-session budget, weight shift.
+        # When no live session passes them, phase one can skip its
+        # rebuffer-expectation work — the gate is closed regardless (the
+        # common steady state once a session's stall budget is spent).
+        spent = self.proactive_spent_s[np.asarray(live)]
+        if len(abr.stall_options_s) > 1:
+            pre_gate = (buffer_s >= abr.min_stall_buffer_s) & (
+                spent < abr.max_total_proactive_stall_s
+            )
+            for position in np.flatnonzero(pre_gate):
+                ahead = weights_rows[position]
+                pre_gate[position] = bool(
+                    ahead.size > 1
+                    and float(np.max(ahead[1:])) > float(ahead[0]) * 1.05
+                )
+        else:
+            pre_gate = np.zeros(count, dtype=bool)
+        need_rebuffer = bool(np.any(pre_gate))
+
+        levels = np.zeros(count, dtype=int)
+        stalls = np.zeros(count)
+        scores = np.zeros(count)
+        rebuffer = np.zeros(count)
+        groups = self._plan_groups(live, horizons, last_levels)
+        for key, (start_level, positions) in groups.items():
+            batch = self._evaluate_group(
+                live, positions, key[0], start_level, buffer_s, last_levels,
+                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
+                weights_rows=weights_rows,
+                need_expected_rebuffer=need_rebuffer,
+            )
+            levels[positions] = batch.best_level
+            scores[positions] = batch.best_score
+            rebuffer[positions] = batch.expected_rebuffer_s
+
+        # The full stall gate, exactly as the scalar decide() applies it.
+        plausible = pre_gate & (rebuffer >= abr.stall_risk_threshold_s)
+
+        if np.any(plausible):
+            allowed_keys: List[tuple] = [()] * count
+            for position in np.flatnonzero(plausible):
+                remaining = abr.max_total_proactive_stall_s - spent[position]
+                allowed_keys[position] = tuple(
+                    option
+                    for option in abr.stall_options_s
+                    if option <= remaining + 1e-9
+                )
+            plausible_positions = [
+                int(position) for position in np.flatnonzero(plausible)
+            ]
+            sub_live = [live[position] for position in plausible_positions]
+            groups = self._plan_groups(
+                sub_live,
+                [horizons[position] for position in plausible_positions],
+                last_levels[plausible_positions],
+                extra_keys=[
+                    allowed_keys[position] for position in plausible_positions
+                ],
+            )
+            for key, (start_level, sub_positions) in groups.items():
+                positions = [
+                    plausible_positions[sub_position]
+                    for sub_position in sub_positions
+                ]
+                batch = self._evaluate_group(
+                    live, positions, key[0], start_level, buffer_s,
+                    last_levels, scenario_tputs, scenario_probs,
+                    stall_options_s=key[3], weights_rows=weights_rows,
+                    need_expected_rebuffer=False,
+                )
+                better = batch.best_score > scores[positions]
+                levels[positions] = np.where(
+                    better, batch.best_level, levels[positions]
+                )
+                stalls[positions] = np.where(
+                    better, batch.best_stall_s, stalls[positions]
+                )
+                scores[positions] = np.where(
+                    better, batch.best_score, scores[positions]
+                )
+
+        decisions = []
+        for position, index in enumerate(live):
+            stall = float(stalls[position])
+            if stall > 0:
+                self.proactive_spent_s[index] += stall
+                decisions.append(
+                    Decision(
+                        level=int(levels[position]), proactive_stall_s=stall
+                    )
+                )
+            else:
+                decisions.append(_cached_decision(int(levels[position])))
+        return decisions

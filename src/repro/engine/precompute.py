@@ -51,6 +51,10 @@ class SessionPrecompute:
         self.quality = encoded.quality_matrix()
         self.num_chunks = encoded.num_chunks
         self.num_levels = encoded.ladder.num_levels
+        # Plain-float mirror for the per-chunk scalar lookup on the session
+        # hot path (native list indexing beats numpy scalar extraction;
+        # ``tolist`` round-trips the exact doubles).
+        self._sizes_rows = self.sizes_bytes.tolist()
 
     @classmethod
     def of(cls, encoded: EncodedVideo) -> "SessionPrecompute":
@@ -70,8 +74,8 @@ class SessionPrecompute:
         return self.sizes_bytes[chunk_index:stop], self.quality[chunk_index:stop]
 
     def chunk_size_bytes(self, chunk_index: int, level: int) -> float:
-        """Size in bytes of a chunk at a bitrate level (matrix lookup)."""
-        return float(self.sizes_bytes[chunk_index, level])
+        """Size in bytes of a chunk at a bitrate level (list lookup)."""
+        return self._sizes_rows[chunk_index][level]
 
 
 class HistoryRing:

@@ -64,6 +64,10 @@ class BenchReport:
     grid:
         Quick-scale grid timings: seed and engine wall-clock seconds, the
         resulting speedup, cell count and the backend the engine used.
+    plan_cache:
+        Candidate-tree memo statistics (hits, misses, currsize) observed
+        over the grid run — the shared-tree guarantee made visible: a
+        handful of misses builds every tree a whole sweep plans over.
     meta:
         Environment fingerprint (python, platform, CPU count).
     """
@@ -71,6 +75,7 @@ class BenchReport:
     sessions_per_sec: float = 0.0
     decisions_per_sec: Dict[str, float] = field(default_factory=dict)
     grid: Dict[str, float] = field(default_factory=dict)
+    plan_cache: Dict[str, int] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:

@@ -3,16 +3,25 @@
 The experiment harness reduces to one primitive: run a list of streaming
 sessions and collect their :class:`~repro.player.session.StreamResult`s in a
 deterministic order.  :class:`BatchRunner` provides exactly that primitive
-with two interchangeable backends:
+with three interchangeable backends:
 
 * ``serial`` — runs orders in submission order, in process, reusing the ABR
   instances it is given.  This is byte-for-byte the seed behaviour and the
   backend tests and equivalence checks rely on.
-* ``process`` — shards orders over a ``ProcessPoolExecutor``.  Each worker
-  receives a pickled copy of its order (ABR state cannot leak between
-  shards); because every session begins with ``abr.reset()``, the results
-  are numerically identical to the serial backend.  Falls back to serial
-  when the platform offers a single CPU or the orders cannot be pickled, so
+* ``lockstep`` — runs orders through the lockstep multi-session core
+  (:mod:`repro.engine.lockstep`): sessions sharing an ABR advance chunk by
+  chunk together and the planner is evaluated across sessions as one
+  batched tensor.  Results are bit-identical to ``serial``
+  (``tests/test_lockstep.py``); this is the fastest single-process backend.
+* ``process`` — shards orders over a ``ProcessPoolExecutor``.  Orders are
+  dispatched as *chunked shards* (one pickle per shard, several orders
+  each): orders in a shard share their pickled videos, so each worker
+  builds one :class:`~repro.engine.precompute.SessionPrecompute` per video
+  per shard, and each shard runs through the lockstep core.  Because every
+  session begins with ``abr.reset()`` and lockstep is serial-identical, the
+  results are numerically identical to the serial backend.  On a
+  single-core host a pool is pure overhead, so ``run_orders`` falls back to
+  in-process lockstep there; unpicklable work falls back to serial, so
   callers never need a fallback path of their own.
 
 Result ordering always matches submission ordering, whichever backend ran.
@@ -39,7 +48,17 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Supported backends.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "lockstep")
+
+#: Orders below this count are not worth a pool: shard + pickle + spawn
+#: overhead exceeds the win.  Used by the process backend's fallback
+#: heuristic together with the core count.
+MIN_PROCESS_ORDERS = 4
+
+#: Target shards per worker for the process backend: enough slack that an
+#: unlucky shard (e.g. all planner ABRs) cannot serialise the tail, few
+#: enough that per-shard pickling stays amortised.
+SHARDS_PER_WORKER = 4
 
 
 @dataclass
@@ -78,18 +97,43 @@ def _execute_order(order: WorkOrder) -> StreamResult:
     return order.run()
 
 
+@dataclass
+class _OrderShard:
+    """A chunk of consecutive work orders shipped to one worker as a unit.
+
+    One pickle per shard: orders that share a video (grid sweeps interleave
+    ABRs over the same (video, trace) cells, so consecutive orders usually
+    do) serialise it once, and the worker's lockstep run reuses one
+    ``SessionPrecompute`` per video across the whole shard.
+    """
+
+    orders: Tuple[WorkOrder, ...]
+
+
+def _execute_shard(shard: _OrderShard) -> List[StreamResult]:
+    """Run one shard through the lockstep core (module-level to pickle)."""
+    from repro.engine.lockstep import run_orders_lockstep
+
+    return run_orders_lockstep(shard.orders)
+
+
 class BatchRunner:
-    """Runs work orders through a serial or process-pool backend.
+    """Runs work orders through a serial, lockstep or process-pool backend.
 
     Parameters
     ----------
     backend:
-        ``"serial"`` or ``"process"``.
+        ``"serial"``, ``"lockstep"`` or ``"process"``.
     max_workers:
         Worker count for the process backend; defaults to the CPU count.
     chunksize:
-        Orders handed to a worker at a time (process backend); larger chunks
-        amortise pickling for many small sessions.
+        Items handed to a worker at a time by :meth:`map_ordered` (process
+        backend); larger chunks amortise pickling for many small items.
+    persistent:
+        Keep the process pool alive between calls (training rounds pay pool
+        spawn once instead of per round).  Call :meth:`close` — or use the
+        runner as a context manager — when done; a crashed pool is dropped
+        and rebuilt on the next call.
     """
 
     def __init__(
@@ -97,25 +141,37 @@ class BatchRunner:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         chunksize: int = 1,
+        persistent: bool = False,
     ) -> None:
         require(backend in BACKENDS, f"backend must be one of {BACKENDS}")
         require(chunksize >= 1, "chunksize must be >= 1")
         self.backend = backend
         self.max_workers = max_workers
         self.chunksize = int(chunksize)
+        self.persistent = bool(persistent)
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @classmethod
     def auto(cls, max_workers: Optional[int] = None) -> "BatchRunner":
-        """Process-pool runner on multi-core hosts, serial otherwise."""
+        """Process-pool runner on multi-core hosts, lockstep otherwise."""
         cores = os.cpu_count() or 1
         if cores > 1:
             return cls(backend="process", max_workers=max_workers, chunksize=2)
-        return cls(backend="serial")
+        return cls(backend="lockstep")
 
     # ------------------------------------------------------------------ API
 
     def run_orders(self, orders: Sequence[WorkOrder]) -> List[StreamResult]:
         """Run every order; results align index-for-index with ``orders``."""
+        orders = list(orders)
+        if not orders:
+            return []
+        if self.backend == "lockstep":
+            from repro.engine.lockstep import run_orders_lockstep
+
+            return run_orders_lockstep(orders)
+        if self.backend == "process":
+            return self._run_orders_process(orders)
         return self.map_ordered(_execute_order, orders)
 
     def map_ordered(
@@ -123,13 +179,15 @@ class BatchRunner:
     ) -> List[_R]:
         """Apply ``fn`` to every item, preserving order.
 
-        The serial backend is a plain loop; the process backend distributes
-        items over workers and reassembles results in submission order.
+        The serial and lockstep backends use a plain loop (lockstep only
+        accelerates :meth:`run_orders`, where the work is known to be
+        streaming sessions); the process backend distributes items over
+        workers and reassembles results in submission order.
         """
         items = list(items)
         if not items:
             return []
-        if self.backend == "serial" or len(items) == 1:
+        if self.backend != "process" or len(items) == 1:
             return [fn(item) for item in items]
         if not self._picklable(fn, items[0]):
             warnings.warn(
@@ -139,9 +197,11 @@ class BatchRunner:
                 stacklevel=2,
             )
             return [fn(item) for item in items]
-        max_workers = self.max_workers or os.cpu_count() or 1
-        max_workers = min(max_workers, len(items))
         try:
+            if self.persistent:
+                pool = self._ensure_pool()
+                return list(pool.map(fn, items, chunksize=self.chunksize))
+            max_workers = self._effective_workers(len(items))
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 return list(pool.map(fn, items, chunksize=self.chunksize))
         except (pickle.PicklingError, TypeError, AttributeError) as error:
@@ -157,6 +217,7 @@ class BatchRunner:
             # crash.)  Items are checked one at a time, short-circuiting on
             # the first offender, so classification never duplicates the
             # whole batch in memory.
+            self.close()  # a poisoned persistent pool must not be reused
             if not isinstance(error, pickle.PicklingError):
                 if all(self._picklable(fn, item) for item in items):
                     raise
@@ -167,8 +228,58 @@ class BatchRunner:
                 stacklevel=2,
             )
             return [fn(item) for item in items]
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one is alive."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------ internals
+
+    def _run_orders_process(self, orders: List[WorkOrder]) -> List[StreamResult]:
+        """Chunked-shard dispatch with an in-process fallback heuristic."""
+        cores = os.cpu_count() or 1
+        workers = self._effective_workers(len(orders))
+        if cores <= 1 or workers <= 1 or len(orders) < MIN_PROCESS_ORDERS:
+            # A pool cannot pay for itself here; lockstep is bit-identical
+            # and the fastest in-process path.
+            from repro.engine.lockstep import run_orders_lockstep
+
+            return run_orders_lockstep(orders)
+        shard_count = min(len(orders), workers * SHARDS_PER_WORKER)
+        bounds = np.linspace(0, len(orders), shard_count + 1).astype(int)
+        shards = [
+            _OrderShard(orders=tuple(orders[start:stop]))
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if stop > start
+        ]
+        chunksize, self.chunksize = self.chunksize, 1
+        try:
+            nested = self.map_ordered(_execute_shard, shards)
+        finally:
+            self.chunksize = chunksize
+        return [result for shard_results in nested for result in shard_results]
+
+    def _effective_workers(self, num_items: int) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return min(workers, num_items)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers or os.cpu_count() or 1
+            )
+        return self._pool
 
     @staticmethod
     def _picklable(fn: Callable, sample_item) -> bool:

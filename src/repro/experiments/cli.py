@@ -79,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--seed", type=int, default=7,
                          help="the single seed every artefact derives from")
     run_cmd.add_argument("--backend", default="serial",
-                         choices=("serial", "process", "auto"),
+                         choices=("serial", "process", "lockstep", "auto"),
                          help="batch-engine backend (results are identical)")
     run_cmd.add_argument("--workers", type=int, default=None,
                          help="worker count for the process backend")
@@ -121,7 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train_cmd.add_argument("--checkpoints", default="checkpoints",
                            metavar="DIR", help="CheckpointStore root")
     train_cmd.add_argument("--backend", default="auto",
-                           choices=("serial", "process", "auto"))
+                           choices=("serial", "process", "lockstep", "auto"))
     train_cmd.add_argument("--workers", type=int, default=None)
     train_cmd.add_argument("--rounds", type=int, default=None,
                            help="training rounds (default: pipeline preset)")

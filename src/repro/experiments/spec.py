@@ -33,8 +33,11 @@ from repro.experiments.common import ExperimentScale
 from repro.utils.validation import require
 
 #: Execution backends a spec may request; ``auto`` picks process pools on
-#: multi-core hosts (see :meth:`repro.engine.runner.BatchRunner.auto`).
-SPEC_BACKENDS = ("serial", "process", "auto")
+#: multi-core hosts and the lockstep core otherwise (see
+#: :meth:`repro.engine.runner.BatchRunner.auto`).  Results are identical on
+#: every backend (lockstep and process are bit-identical to serial), which
+#: is why ``spec_hash`` excludes the backend.
+SPEC_BACKENDS = ("serial", "process", "lockstep", "auto")
 
 # --------------------------------------------------------------- scale presets
 

@@ -9,6 +9,7 @@ evaluation, e.g. Pensieve's simulator).
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
@@ -68,8 +69,18 @@ class ThroughputTrace:
         segment_ends = np.append(ts[1:], duration)
         rates_bits = np.maximum(bw, _MIN_BANDWIDTH_MBPS) * 1e6
         capacity_bits = rates_bits * (segment_ends - ts)
+        cum_capacity = np.cumsum(capacity_bits)
         object.__setattr__(self, "_segment_rates_bits", rates_bits)
-        object.__setattr__(self, "_cum_capacity_bits", np.cumsum(capacity_bits))
+        object.__setattr__(self, "_cum_capacity_bits", cum_capacity)
+        # Plain-float mirrors of the index arrays: ``download_time_s`` is
+        # called once per chunk of every session of a grid sweep, and
+        # ``bisect`` over a list plus native float arithmetic is several
+        # times cheaper than numpy scalar indexing at these sizes.  Values
+        # are identical (``tolist`` round-trips the exact doubles), so the
+        # integral is unchanged.
+        object.__setattr__(self, "_ts_list", ts.tolist())
+        object.__setattr__(self, "_rates_list", rates_bits.tolist())
+        object.__setattr__(self, "_cum_list", cum_capacity.tolist())
 
     def __getstate__(self) -> dict:
         """Pickle only the declared fields.
@@ -138,27 +149,26 @@ class ThroughputTrace:
         """
         require_positive(size_bytes, "size_bytes")
         require(start_time_s >= 0, "start_time_s must be >= 0")
-        ts = self.timestamps_s
-        cum = self._cum_capacity_bits
-        rates = self._segment_rates_bits
+        ts = self._ts_list
+        cum = self._cum_list
+        rates = self._rates_list
         duration = self._duration_s
-        cycle_bits = float(cum[-1])
+        num_segments = len(ts)
+        cycle_bits = cum[-1]
 
         wrapped = float(start_time_s) % duration
-        start_seg = max(int(np.searchsorted(ts, wrapped, side="right") - 1), 0)
-        seg_end = float(ts[start_seg + 1]) if start_seg + 1 < ts.size else duration
+        start_seg = max(bisect_right(ts, wrapped) - 1, 0)
+        seg_end = ts[start_seg + 1] if start_seg + 1 < num_segments else duration
         # Bits deliverable from the cycle start up to the wrapped start time.
-        bits_before = float(cum[start_seg]) - float(rates[start_seg]) * (
-            seg_end - wrapped
-        )
+        bits_before = cum[start_seg] - rates[start_seg] * (seg_end - wrapped)
         target_bits = bits_before + size_bytes * 8.0
 
         full_cycles, within_cycle = divmod(target_bits, cycle_bits)
-        end_seg = int(np.searchsorted(cum, within_cycle, side="right"))
-        if end_seg >= ts.size:  # within_cycle landed on cum[-1] by rounding
-            end_seg = ts.size - 1
-        bits_into_seg = within_cycle - (float(cum[end_seg - 1]) if end_seg else 0.0)
-        end_time = float(ts[end_seg]) + bits_into_seg / float(rates[end_seg])
+        end_seg = bisect_right(cum, within_cycle)
+        if end_seg >= num_segments:  # within_cycle landed on cum[-1] by rounding
+            end_seg = num_segments - 1
+        bits_into_seg = within_cycle - (cum[end_seg - 1] if end_seg else 0.0)
+        end_time = ts[end_seg] + bits_into_seg / rates[end_seg]
         return full_cycles * duration + end_time - wrapped
 
     def download_time_s_reference(

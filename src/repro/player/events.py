@@ -18,7 +18,7 @@ STALL_PROACTIVE = "proactive"        # deliberately scheduled by the ABR
 STALL_STARTUP = "startup"            # initial join delay
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DownloadRecord:
     """One chunk download.
 
@@ -50,7 +50,7 @@ class DownloadRecord:
         require(self.throughput_mbps > 0, "throughput must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StallEvent:
     """A playback interruption.
 

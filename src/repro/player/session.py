@@ -113,6 +113,308 @@ class StreamResult:
         return self.total_bytes * 8.0 / 1e6 / self.session_duration_s
 
 
+class SessionState:
+    """The mutable state of one in-flight streaming session.
+
+    Extracted from :meth:`StreamingSession.run` so that two drivers can step
+    it with the *same* code — and therefore the same floating-point
+    operation sequence:
+
+    * :class:`StreamingSession` steps one state to completion in a loop
+      (observe → ABR decide → apply), reproducing the seed control flow
+      exactly;
+    * the lockstep engine (:mod:`repro.engine.lockstep`) interleaves many
+      states chunk-step by chunk-step, batching the ABR decisions across
+      sessions while each state's evolution stays bit-identical to the
+      serial run.
+
+    The protocol is ``observe()`` → ``apply(decision)`` once per chunk (in
+    chunk order) until :attr:`done`, then ``finalize()`` for the
+    :class:`StreamResult`.
+    """
+
+    def __init__(
+        self,
+        encoded: EncodedVideo,
+        trace: ThroughputTrace,
+        config: SessionConfig,
+        chunk_weights: np.ndarray,
+        use_precompute: bool = True,
+        precompute: Optional["SessionPrecompute"] = None,
+    ) -> None:
+        self.encoded = encoded
+        self.trace = trace
+        self.config = config
+        self.chunk_weights = chunk_weights
+        self.use_precompute = use_precompute
+        self.precompute = precompute
+        self.num_chunks = encoded.num_chunks
+        self.chunk_duration = encoded.chunk_duration_s
+
+        self.buffer = PlaybackBuffer(capacity_s=config.buffer_capacity_s)
+        self.timeline = SessionTimeline()
+        self.levels = np.zeros(self.num_chunks, dtype=int)
+        self.stalls = np.zeros(self.num_chunks)
+        if use_precompute:
+            from repro.engine.precompute import HistoryRing
+
+            history_len = config.history_length
+            self.throughput_history = HistoryRing(history_len)
+            self.download_time_history = HistoryRing(history_len)
+        else:
+            self.throughput_history: List[float] = []
+            self.download_time_history: List[float] = []
+
+        self.wall_time = 0.0
+        self.played_s = 0.0
+        self.startup_delay = 0.0
+        self.pending_proactive_s = 0.0
+        self.total_bytes = 0.0
+        self.playback_started = False
+        self.next_chunk = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every chunk has been downloaded."""
+        return self.next_chunk >= self.num_chunks
+
+    @property
+    def chunk_index(self) -> int:
+        """Index of the chunk the next observe/apply pair concerns."""
+        return self.next_chunk
+
+    def observe(self) -> PlayerObservation:
+        """The observation for the chunk about to be downloaded."""
+        return self._build_observation(
+            self.next_chunk,
+            self.buffer.level_s,
+            self.last_level,
+            self.throughput_history,
+            self.download_time_history,
+        )
+
+    @property
+    def last_level(self) -> int:
+        """Level of the previously downloaded chunk (-1 before the first)."""
+        return int(self.levels[self.next_chunk - 1]) if self.next_chunk > 0 else -1
+
+    def apply(self, decision: Decision) -> None:
+        """Download the next chunk at the decided level and advance playback."""
+        chunk_index = self.next_chunk
+        encoded = self.encoded
+        # Inlined ABRAlgorithm.clamp_level — this runs once per chunk of
+        # every session of a sweep.
+        level = min(max(int(decision.level), 0), encoded.ladder.num_levels - 1)
+        self.levels[chunk_index] = level
+        if decision.proactive_stall_s > 0:
+            self.pending_proactive_s += float(decision.proactive_stall_s)
+
+        if self.use_precompute:
+            size_bytes = self.precompute.chunk_size_bytes(chunk_index, level)
+            download_s = self.trace.download_time_s(size_bytes, self.wall_time)
+        else:
+            size_bytes = encoded.chunk_size_bytes(chunk_index, level)
+            download_s = self.trace.download_time_s_reference(
+                size_bytes, self.wall_time
+            )
+        # Clamp: a degenerate trace may deliver the chunk in ~0 s, and the
+        # measured-throughput division must stay finite.
+        download_s = max(download_s, MIN_DOWNLOAD_DURATION_S)
+        buffer_before = self.buffer.level_s
+        download_start = self.wall_time
+        self.total_bytes += size_bytes
+
+        if not self.playback_started:
+            # Startup: the buffer cannot drain before playback begins.
+            self.wall_time += download_s
+            self.startup_delay += download_s
+            self.buffer.add_chunk(self.chunk_duration)
+            self.playback_started = True
+            self.timeline.add_stall(
+                StallEvent(
+                    cause=STALL_STARTUP,
+                    chunk_index=0,
+                    start_time_s=download_start,
+                    duration_s=download_s,
+                )
+            )
+        else:
+            self._advance_playback(download_s)
+            overshoot = self.buffer.add_chunk(self.chunk_duration)
+            if overshoot > 0:
+                # Buffer full: wait until there is room again.  Playback
+                # continues during the wait (it cannot stall: the buffer
+                # is by definition non-empty), so exactly ``overshoot``
+                # seconds drain and the level returns to capacity.
+                drained = self.buffer.drain(overshoot)
+                self.played_s += drained
+                self.wall_time += overshoot
+
+        measured_mbps = size_bytes * 8.0 / 1e6 / download_s
+        self.timeline.add_download(
+            DownloadRecord(
+                chunk_index=chunk_index,
+                level=level,
+                size_bytes=size_bytes,
+                start_time_s=download_start,
+                duration_s=download_s,
+                throughput_mbps=measured_mbps,
+                buffer_before_s=buffer_before,
+                buffer_after_s=self.buffer.level_s,
+            )
+        )
+        self.throughput_history.append(measured_mbps)
+        self.download_time_history.append(download_s)
+        self.next_chunk = chunk_index + 1
+
+    def finalize(self, abr_name: str = "", trace_name: str = "") -> StreamResult:
+        """Play out the remaining buffer and assemble the result."""
+        require(self.done, "finalize() before every chunk was downloaded")
+        # Any proactive stall still pending applies before the remaining
+        # buffered media plays out.
+        if self.pending_proactive_s > 0:
+            next_chunk = min(
+                self.num_chunks - 1,
+                int(self.played_s / self.chunk_duration + 1e-9),
+            )
+            self.stalls[next_chunk] += self.pending_proactive_s
+            self.timeline.add_stall(
+                StallEvent(
+                    cause=STALL_PROACTIVE,
+                    chunk_index=next_chunk,
+                    start_time_s=self.wall_time,
+                    duration_s=self.pending_proactive_s,
+                )
+            )
+            self.wall_time += self.pending_proactive_s
+            self.pending_proactive_s = 0.0
+
+        # Remaining buffer plays out with no possible stalls.
+        remaining = self.buffer.level_s
+        self.wall_time += remaining
+        self.played_s += remaining
+        self.buffer.reset()
+
+        rendered = RenderedVideo(
+            encoded=self.encoded,
+            levels=self.levels,
+            stalls_s=self.stalls,
+            startup_delay_s=self.startup_delay,
+            render_id=(
+                f"{self.encoded.source.video_id}/{abr_name}/{trace_name}"
+            ),
+        )
+        return StreamResult(
+            rendered=rendered,
+            timeline=self.timeline,
+            total_bytes=self.total_bytes,
+            session_duration_s=self.wall_time,
+            abr_name=abr_name,
+            trace_name=trace_name,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _advance_playback(self, elapsed_s: float) -> None:
+        """Advance wall-clock time by ``elapsed_s`` while playback runs.
+
+        Handles, in order: pending proactive stalls (playback paused, buffer
+        preserved), normal draining, and involuntary rebuffering when the
+        buffer empties.
+        """
+        remaining = elapsed_s
+        while remaining > 1e-9:
+            next_chunk = min(
+                self.num_chunks - 1,
+                int(self.played_s / self.chunk_duration + 1e-9),
+            )
+            if self.pending_proactive_s > 1e-9:
+                pause = min(self.pending_proactive_s, remaining)
+                self.stalls[next_chunk] += pause
+                self.timeline.add_stall(
+                    StallEvent(
+                        cause=STALL_PROACTIVE,
+                        chunk_index=next_chunk,
+                        start_time_s=self.wall_time,
+                        duration_s=pause,
+                    )
+                )
+                self.pending_proactive_s -= pause
+                remaining -= pause
+                self.wall_time += pause
+                continue
+            if self.buffer.is_empty:
+                self.stalls[next_chunk] += remaining
+                self.timeline.add_stall(
+                    StallEvent(
+                        cause=STALL_REBUFFER,
+                        chunk_index=next_chunk,
+                        start_time_s=self.wall_time,
+                        duration_s=remaining,
+                    )
+                )
+                self.wall_time += remaining
+                remaining = 0.0
+                continue
+            drained = self.buffer.drain(remaining)
+            self.played_s += drained
+            self.wall_time += drained
+            remaining -= drained
+
+    def _build_observation(
+        self,
+        chunk_index: int,
+        buffer_s: float,
+        last_level: int,
+        throughput_history,
+        download_time_history,
+    ) -> PlayerObservation:
+        horizon = min(
+            self.config.observation_horizon, self.encoded.num_chunks - chunk_index
+        )
+        if self.use_precompute:
+            # Sliced views of the per-video matrices; ring buffers already
+            # hold exactly the last ``history_length`` samples.
+            sizes, quality = self.precompute.upcoming(chunk_index, horizon)
+            throughput = throughput_history.as_array()
+            download_times = download_time_history.as_array()
+        else:
+            sizes = np.stack(
+                [
+                    self.encoded.chunks[chunk_index + offset].sizes_bytes
+                    for offset in range(horizon)
+                ]
+            )
+            quality = np.stack(
+                [
+                    self.encoded.chunks[chunk_index + offset].quality
+                    for offset in range(horizon)
+                ]
+            )
+            history_len = self.config.history_length
+            throughput = np.asarray(
+                throughput_history[-history_len:], dtype=float
+            )
+            download_times = np.asarray(
+                download_time_history[-history_len:], dtype=float
+            )
+        weights = self.chunk_weights[chunk_index : chunk_index + horizon].copy()
+        return PlayerObservation(
+            chunk_index=chunk_index,
+            num_chunks=self.encoded.num_chunks,
+            buffer_s=buffer_s,
+            last_level=last_level,
+            throughput_history_mbps=throughput,
+            download_time_history_s=download_times,
+            upcoming_sizes_bytes=sizes,
+            upcoming_quality=quality,
+            upcoming_weights=weights,
+            chunk_duration_s=self.encoded.chunk_duration_s,
+            ladder=self.encoded.ladder,
+            buffer_capacity_s=self.config.buffer_capacity_s,
+        )
+
+
 class StreamingSession:
     """Runs one ABR algorithm over one encoded video and one trace.
 
@@ -170,261 +472,26 @@ class StreamingSession:
 
     # ------------------------------------------------------------------ run
 
+    def make_state(self) -> SessionState:
+        """A fresh :class:`SessionState` for this session's parameters.
+
+        Used by the lockstep engine to step many sessions in parallel with
+        the exact state-evolution code :meth:`run` uses.
+        """
+        return SessionState(
+            encoded=self.encoded,
+            trace=self.trace,
+            config=self.config,
+            chunk_weights=self.chunk_weights,
+            use_precompute=self.use_precompute,
+            precompute=self.precompute,
+        )
+
     def run(self) -> StreamResult:
         """Execute the session and return its :class:`StreamResult`."""
-        encoded = self.encoded
-        num_chunks = encoded.num_chunks
-        chunk_duration = encoded.chunk_duration_s
-
         self.abr.reset()
-        buffer = PlaybackBuffer(capacity_s=self.config.buffer_capacity_s)
-        timeline = SessionTimeline()
-
-        levels = np.zeros(num_chunks, dtype=int)
-        stalls = np.zeros(num_chunks)
-        if self.use_precompute:
-            from repro.engine.precompute import HistoryRing
-
-            history_len = self.config.history_length
-            throughput_history = HistoryRing(history_len)
-            download_time_history = HistoryRing(history_len)
-        else:
-            throughput_history: List[float] = []
-            download_time_history: List[float] = []
-
-        wall_time = 0.0
-        played_s = 0.0
-        startup_delay = 0.0
-        pending_proactive_s = 0.0
-        total_bytes = 0.0
-        playback_started = False
-
-        for chunk_index in range(num_chunks):
-            observation = self._build_observation(
-                chunk_index,
-                buffer.level_s,
-                int(levels[chunk_index - 1]) if chunk_index > 0 else -1,
-                throughput_history,
-                download_time_history,
-            )
-            decision = self.abr.decide(observation)
-            level = ABRAlgorithm.clamp_level(decision.level, encoded.ladder)
-            levels[chunk_index] = level
-            if decision.proactive_stall_s > 0:
-                pending_proactive_s += float(decision.proactive_stall_s)
-
-            if self.use_precompute:
-                size_bytes = self.precompute.chunk_size_bytes(chunk_index, level)
-                download_s = self.trace.download_time_s(size_bytes, wall_time)
-            else:
-                size_bytes = encoded.chunk_size_bytes(chunk_index, level)
-                download_s = self.trace.download_time_s_reference(
-                    size_bytes, wall_time
-                )
-            # Clamp: a degenerate trace may deliver the chunk in ~0 s, and the
-            # measured-throughput division must stay finite.
-            download_s = max(download_s, MIN_DOWNLOAD_DURATION_S)
-            buffer_before = buffer.level_s
-            download_start = wall_time
-            total_bytes += size_bytes
-
-            if not playback_started:
-                # Startup: the buffer cannot drain before playback begins.
-                wall_time += download_s
-                startup_delay += download_s
-                buffer.add_chunk(chunk_duration)
-                playback_started = True
-                timeline.add_stall(
-                    StallEvent(
-                        cause=STALL_STARTUP,
-                        chunk_index=0,
-                        start_time_s=download_start,
-                        duration_s=download_s,
-                    )
-                )
-            else:
-                wall_time, played_s, pending_proactive_s = self._advance_playback(
-                    elapsed_s=download_s,
-                    wall_time=wall_time,
-                    played_s=played_s,
-                    buffer=buffer,
-                    stalls=stalls,
-                    timeline=timeline,
-                    pending_proactive_s=pending_proactive_s,
-                    num_chunks=num_chunks,
-                    chunk_duration=chunk_duration,
-                )
-                overshoot = buffer.add_chunk(chunk_duration)
-                if overshoot > 0:
-                    # Buffer full: wait until there is room again.  Playback
-                    # continues during the wait (it cannot stall: the buffer
-                    # is by definition non-empty), so exactly ``overshoot``
-                    # seconds drain and the level returns to capacity.
-                    drained = buffer.drain(overshoot)
-                    played_s += drained
-                    wall_time += overshoot
-
-            measured_mbps = size_bytes * 8.0 / 1e6 / download_s
-            timeline.add_download(
-                DownloadRecord(
-                    chunk_index=chunk_index,
-                    level=level,
-                    size_bytes=size_bytes,
-                    start_time_s=download_start,
-                    duration_s=download_s,
-                    throughput_mbps=measured_mbps,
-                    buffer_before_s=buffer_before,
-                    buffer_after_s=buffer.level_s,
-                )
-            )
-            throughput_history.append(measured_mbps)
-            download_time_history.append(download_s)
-
-        # Any proactive stall still pending applies before the remaining
-        # buffered media plays out.
-        if pending_proactive_s > 0:
-            next_chunk = min(num_chunks - 1, int(played_s / chunk_duration + 1e-9))
-            stalls[next_chunk] += pending_proactive_s
-            timeline.add_stall(
-                StallEvent(
-                    cause=STALL_PROACTIVE,
-                    chunk_index=next_chunk,
-                    start_time_s=wall_time,
-                    duration_s=pending_proactive_s,
-                )
-            )
-            wall_time += pending_proactive_s
-
-        # Remaining buffer plays out with no possible stalls.
-        remaining = buffer.level_s
-        wall_time += remaining
-        played_s += remaining
-        buffer.reset()
-
-        rendered = RenderedVideo(
-            encoded=encoded,
-            levels=levels,
-            stalls_s=stalls,
-            startup_delay_s=startup_delay,
-            render_id=(
-                f"{encoded.source.video_id}/{self.abr.name}/{self.trace.name}"
-            ),
-        )
-        return StreamResult(
-            rendered=rendered,
-            timeline=timeline,
-            total_bytes=total_bytes,
-            session_duration_s=wall_time,
-            abr_name=self.abr.name,
-            trace_name=self.trace.name,
-        )
-
-    # ------------------------------------------------------------ internals
-
-    def _advance_playback(
-        self,
-        elapsed_s: float,
-        wall_time: float,
-        played_s: float,
-        buffer: PlaybackBuffer,
-        stalls: np.ndarray,
-        timeline: SessionTimeline,
-        pending_proactive_s: float,
-        num_chunks: int,
-        chunk_duration: float,
-    ) -> tuple:
-        """Advance wall-clock time by ``elapsed_s`` while playback runs.
-
-        Handles, in order: pending proactive stalls (playback paused, buffer
-        preserved), normal draining, and involuntary rebuffering when the
-        buffer empties.  Returns updated (wall_time, played_s, pending).
-        """
-        remaining = elapsed_s
-        while remaining > 1e-9:
-            next_chunk = min(num_chunks - 1, int(played_s / chunk_duration + 1e-9))
-            if pending_proactive_s > 1e-9:
-                pause = min(pending_proactive_s, remaining)
-                stalls[next_chunk] += pause
-                timeline.add_stall(
-                    StallEvent(
-                        cause=STALL_PROACTIVE,
-                        chunk_index=next_chunk,
-                        start_time_s=wall_time,
-                        duration_s=pause,
-                    )
-                )
-                pending_proactive_s -= pause
-                remaining -= pause
-                wall_time += pause
-                continue
-            if buffer.is_empty:
-                stalls[next_chunk] += remaining
-                timeline.add_stall(
-                    StallEvent(
-                        cause=STALL_REBUFFER,
-                        chunk_index=next_chunk,
-                        start_time_s=wall_time,
-                        duration_s=remaining,
-                    )
-                )
-                wall_time += remaining
-                remaining = 0.0
-                continue
-            drained = buffer.drain(remaining)
-            played_s += drained
-            wall_time += drained
-            remaining -= drained
-        return wall_time, played_s, pending_proactive_s
-
-    def _build_observation(
-        self,
-        chunk_index: int,
-        buffer_s: float,
-        last_level: int,
-        throughput_history,
-        download_time_history,
-    ) -> PlayerObservation:
-        horizon = min(
-            self.config.observation_horizon, self.encoded.num_chunks - chunk_index
-        )
-        if self.use_precompute:
-            # Sliced views of the per-video matrices; ring buffers already
-            # hold exactly the last ``history_length`` samples.
-            sizes, quality = self.precompute.upcoming(chunk_index, horizon)
-            throughput = throughput_history.as_array()
-            download_times = download_time_history.as_array()
-        else:
-            sizes = np.stack(
-                [
-                    self.encoded.chunks[chunk_index + offset].sizes_bytes
-                    for offset in range(horizon)
-                ]
-            )
-            quality = np.stack(
-                [
-                    self.encoded.chunks[chunk_index + offset].quality
-                    for offset in range(horizon)
-                ]
-            )
-            history_len = self.config.history_length
-            throughput = np.asarray(
-                throughput_history[-history_len:], dtype=float
-            )
-            download_times = np.asarray(
-                download_time_history[-history_len:], dtype=float
-            )
-        weights = self.chunk_weights[chunk_index : chunk_index + horizon].copy()
-        return PlayerObservation(
-            chunk_index=chunk_index,
-            num_chunks=self.encoded.num_chunks,
-            buffer_s=buffer_s,
-            last_level=last_level,
-            throughput_history_mbps=throughput,
-            download_time_history_s=download_times,
-            upcoming_sizes_bytes=sizes,
-            upcoming_quality=quality,
-            upcoming_weights=weights,
-            chunk_duration_s=self.encoded.chunk_duration_s,
-            ladder=self.encoded.ladder,
-            buffer_capacity_s=self.config.buffer_capacity_s,
-        )
+        state = self.make_state()
+        while not state.done:
+            decision = self.abr.decide(state.observe())
+            state.apply(decision)
+        return state.finalize(abr_name=self.abr.name, trace_name=self.trace.name)
