@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench bench-training train figures list
+.PHONY: test test-fast coverage regen-golden bench bench-training train figures list
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -10,6 +10,18 @@ test:
 ## Unit tests only, skipping process-pool-backed tests.
 test-fast:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+## Fast suite with line coverage for the engine + player packages
+## (requires pytest-cov; CI enforces the floor — see docs/TESTING.md).
+coverage:
+	$(PYTHON) -m pytest tests/ -q -m "not slow" \
+	    --cov=repro.engine --cov=repro.player \
+	    --cov-report=term --cov-fail-under=80
+
+## Rewrite the golden-master fixtures (tests/golden/) from the serial
+## backend.  ONLY after an intentional, reviewed semantic change.
+regen-golden:
+	$(PYTHON) tests/test_golden.py --regen
 
 ## Perf harness: measures the engine and writes BENCH_engine.json.
 bench:

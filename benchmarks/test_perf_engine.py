@@ -4,12 +4,18 @@ Measures, in one run, the engine's three headline rates and writes them to
 ``BENCH_engine.json`` at the repo root so the perf trajectory is tracked
 from PR to PR:
 
+* **speedup_vs_serial_engine** — the *primary tracked metric*: wall-clock
+  of the serial per-session engine versus the lockstep core on the same
+  grid, same process, same host.  Both sides are measured in the same run,
+  so host-speed drift between benchmark recordings (the PR 4 host ran
+  ~1.4x slower than PR 1's) cancels out of the ratio and cannot masquerade
+  as a regression — unlike the absolute ``engine_seconds``;
 * **grid speedup** — wall-clock of the ``_evaluate_grid`` sweep under the
   seed implementation (reference planner, per-chunk ``np.stack``
   observations, segment-walking trace integration, sequential loop) versus
   the engine (lockstep multi-session core: batched cross-session planner,
-  memoised candidate trees, precomputed sessions), measured back to back in
-  the same process;
+  SoA player stepping, memoised candidate trees, precomputed sessions),
+  measured back to back in the same process;
 * **sessions/sec** — engine-path streaming sessions per second;
 * **decisions/sec** — planner decisions per second per ABR family.
 
@@ -51,9 +57,16 @@ TARGET_GRID_SPEEDUP = 10.0
 #: recorded in BENCH_engine.json every run.
 MIN_GRID_SPEEDUP = 2.0
 
+#: Floor for the primary metric: lockstep must stay at least this much
+#: faster than the serial per-session engine *on the same host in the same
+#: run* (PR 5 records ~3x; PR 4's same-host figure was ~2.75x).  Same
+#: noise rationale as MIN_GRID_SPEEDUP — a floor, not the target.
+MIN_SPEEDUP_VS_SERIAL_ENGINE = 2.0
+
 #: Timed measurement attempts per side (best-of): the quick grid runs in
 #: well under a second, so single samples are at the mercy of host noise.
-MEASUREMENT_ATTEMPTS = 3
+#: Five attempts keep the primary same-host ratio steady to a few percent.
+MEASUREMENT_ATTEMPTS = 5
 
 
 def _seed_grid(context) -> Dict[str, Dict[Tuple[str, str], float]]:
@@ -132,19 +145,22 @@ def test_grid_speedup_vs_seed(context, bench_report):
         )
 
     speedup = seed_seconds / engine_seconds
+    speedup_vs_serial = serial_engine_seconds / engine_seconds
     cells = sum(len(v) for v in engine_scores.values())
     cache = plan_cache_info()
     bench_report.grid = {
         "scale": context.scale.name,
         "cells": cells,
         "backend": runner.backend,
+        # The primary tracked metric is the same-host, same-run ratio:
+        # absolute seconds drift with the recording host, the ratio does
+        # not (see the module docstring).
+        "primary_metric": "speedup_vs_serial_engine",
+        "speedup_vs_serial_engine": round(speedup_vs_serial, 2),
         "seed_seconds": round(seed_seconds, 4),
         "engine_seconds": round(engine_seconds, 4),
         "serial_engine_seconds": round(serial_engine_seconds, 4),
         "speedup": round(speedup, 2),
-        "speedup_vs_serial_engine": round(
-            serial_engine_seconds / engine_seconds, 2
-        ),
         "target_speedup": TARGET_GRID_SPEEDUP,
     }
     bench_report.plan_cache = {
@@ -153,8 +169,10 @@ def test_grid_speedup_vs_seed(context, bench_report):
         "currsize": cache.currsize,
     }
     print(
-        f"\ngrid: seed {seed_seconds:.2f}s -> engine {engine_seconds:.2f}s "
-        f"({speedup:.1f}x, {cells} cells, backend={runner.backend}, "
+        f"\ngrid: serial engine {serial_engine_seconds:.2f}s -> lockstep "
+        f"{engine_seconds:.2f}s ({speedup_vs_serial:.2f}x same-host, primary); "
+        f"seed {seed_seconds:.2f}s ({speedup:.1f}x, {cells} cells, "
+        f"backend={runner.backend}, "
         f"plan cache {cache.hits} hits / {cache.misses} misses)"
     )
 
@@ -167,6 +185,7 @@ def test_grid_speedup_vs_seed(context, bench_report):
     # noise, and the smoke job's purpose is schema + equivalence.
     if context.scale.name != "tiny":
         assert speedup >= MIN_GRID_SPEEDUP
+        assert speedup_vs_serial >= MIN_SPEEDUP_VS_SERIAL_ENGINE
 
 
 @pytest.mark.benchmark(group="engine")

@@ -547,12 +547,15 @@ def evaluate_candidates_batch(
 
     # Selection state, mirroring the reference loop per session: stalls
     # considered in order, the first candidate index wins ties within a
-    # stall, and a later stall must *strictly* beat the incumbent.
+    # stall, and a later stall must *strictly* beat the incumbent.  For the
+    # dominant single-stall calls the first iteration's results are adopted
+    # directly (every session improves on -inf), skipping the running
+    # where-merges.
     session_index = _arange(num_sessions)
-    best_score = np.full(num_sessions, -np.inf)
-    best_level = np.full(num_sessions, int(candidates[0, 0]))
-    best_stall = np.full(num_sessions, float(stalls[0]))
-    best_candidate = np.zeros(num_sessions, dtype=int)
+    best_score = None
+    best_level = None
+    best_stall = None
+    best_candidate = None
 
     for stall_index in range(num_stalls):
         # The buffer/rebuffer recursion runs over the candidate *prefix
@@ -593,9 +596,6 @@ def evaluate_candidates_batch(
                 np.minimum(parent_buffers, capacity, out=parent_buffers)
         weighted_rebuffer = state[1]
 
-        stall_penalty = (
-            coeffs.rebuffer_weight * stalls[stall_index] * weights[:, 0]
-        )                                                   # (N,)
         # plan_scores = static - rebuffer_weight * rebuffer - penalty,
         # built in place over the weighted-rebuffer buffer.  The expectation
         # must run over the *scores* (not distribute over the scenario sum):
@@ -606,7 +606,16 @@ def evaluate_candidates_batch(
         plan_scores = weighted_rebuffer                     # (N, S, C)
         np.multiply(plan_scores, coeffs.rebuffer_weight, out=plan_scores)
         np.subtract(static_scores[:, None, :], plan_scores, out=plan_scores)
-        np.subtract(plan_scores, stall_penalty[:, None, None], out=plan_scores)
+        if stalls[stall_index] != 0.0:
+            # ``x - 0.0 == x`` bitwise for every finite x (and -0.0), so
+            # the zero-stall penalty subtraction is a bit-exact no-op and
+            # is skipped on the dominant no-stall calls.
+            stall_penalty = (
+                coeffs.rebuffer_weight * stalls[stall_index] * weights[:, 0]
+            )                                               # (N,)
+            np.subtract(
+                plan_scores, stall_penalty[:, None, None], out=plan_scores
+            )
         expected_scores = scenario_probs[:, 0, None] * plan_scores[:, 0, :]
         partial = np.empty_like(expected_scores)            # (N, C)
         for scenario in range(1, num_scenarios):
@@ -627,6 +636,14 @@ def evaluate_candidates_batch(
 
         top = np.argmax(expected_scores, axis=1)
         score = expected_scores[session_index, top]
+        if best_score is None:
+            # First stall option: adopted outright, exactly as the running
+            # merge below would against the -inf initial incumbent.
+            best_score = score
+            best_level = candidates[top, 0]
+            best_stall = np.full(num_sessions, float(stalls[stall_index]))
+            best_candidate = top
+            continue
         better = score > best_score
         best_score = np.where(better, score, best_score)
         best_level = np.where(better, candidates[top, 0], best_level)

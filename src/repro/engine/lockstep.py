@@ -5,29 +5,34 @@ at a time, so a grid sweep pays the per-chunk Python and small-numpy-op
 overhead once per *session*.  The lockstep core runs a whole shard of
 :class:`~repro.engine.runner.WorkOrder`s together, chunk-step by chunk-step:
 
-* every session's state lives in a
-  :class:`~repro.player.session.SessionState` and is advanced by the exact
-  code the serial path uses (structure-of-arrays at the decision layer,
-  shared scalar stepping at the player layer), so state evolution is
-  bit-identical by construction;
+* every session's mutable state lives as one row of a
+  :class:`~repro.player.shard.ShardState` — the structure-of-arrays
+  counterpart of :class:`~repro.player.session.SessionState` — and the
+  whole shard's download times, buffer evolution, stall accounting and
+  history rings advance per chunk step as a handful of numpy array
+  operations (one batched trace integral per distinct trace) instead of a
+  per-session Python loop;
 * for the planner ABR families (MPC, Fugu, SENSEI-Fugu) the per-decision
   hot path — throughput prediction and candidate scoring — is evaluated
-  *across sessions*: predictor state is kept as arrays over the shard and
+  *across sessions*: predictor state is kept as arrays over the shard,
+  planner inputs (buffer levels, histories, previous levels) are sliced
+  straight out of the SoA arrays, and
   :func:`~repro.abr.planner.evaluate_candidates_batch` scores one stacked
   ``(session x stall x scenario x candidate)`` tensor per candidate-tree
-  group instead of one small tensor per session;
+  group;
 * every other ABR (BBA, rate-based, greedy RL policies, …) runs through a
   generic per-session driver: one reset clone of the ABR per session,
-  decisions taken one session at a time against the same observations the
-  serial path builds — trivially identical, still amortising the shared
-  chunk-step loop.
+  decisions taken one session at a time against observations served from
+  the shard rows — the exact observations the serial path builds —
+  still amortising the shared SoA chunk-step.
 
-Bit-identity rests on two facts, both enforced by tests
-(``tests/test_lockstep.py``): the serial planners route through the same
-batch kernel with a one-session stack, and the kernel (plus the vectorised
-predictor state here) uses only elementwise operations and fixed-order
-reductions, which IEEE-754 evaluates identically regardless of how many
-sessions share the array.
+Bit-identity rests on elementwise-only numpy arithmetic: the planners
+route through the same batch kernel as serial with a one-session stack,
+and both the kernel and the SoA stepping (see :mod:`repro.player.shard`)
+use only elementwise operations and fixed-order reductions, which IEEE-754
+evaluates identically regardless of how many sessions share the array.
+Enforced by ``tests/test_lockstep.py`` (including differential fuzzing)
+and the golden masters under ``tests/golden/``.
 
 Sessions end at different chunk counts (ragged shards): finished sessions
 simply leave the live set while the rest keep stepping.
@@ -47,7 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.abr.base import ABRAlgorithm, Decision
+from repro.abr.base import ABRAlgorithm
 from repro.abr.bba import BufferBasedABR
 from repro.abr.fugu import FuguABR
 from repro.abr.mpc import ModelPredictiveABR
@@ -60,20 +65,8 @@ from repro.abr.throughput import (
     HarmonicMeanPredictor,
 )
 from repro.core.sensei_abr import SenseiFuguABR
-from repro.player.session import SessionState, StreamingSession, StreamResult
-
-
-#: Shared frozen no-stall decisions — one per level, reused across every
-#: session-step of a sweep (Decision is immutable, so sharing is safe).
-_ZERO_STALL_DECISIONS: Dict[int, Decision] = {}
-
-
-def _cached_decision(level: int) -> Decision:
-    decision = _ZERO_STALL_DECISIONS.get(level)
-    if decision is None:
-        decision = Decision(level=level)
-        _ZERO_STALL_DECISIONS[level] = decision
-    return decision
+from repro.player.session import StreamingSession, StreamResult
+from repro.player.shard import ShardState
 
 
 def supports_lockstep(abr: ABRAlgorithm) -> bool:
@@ -96,48 +89,95 @@ def run_orders_lockstep(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
     """
     orders = list(orders)
     results: List[Optional[StreamResult]] = [None] * len(orders)
-    groups: Dict[tuple, List[int]] = {}
+    shards: Dict[object, List[int]] = {}
     for index, order in enumerate(orders):
-        groups.setdefault((id(order.abr), order.config), []).append(index)
-    for indices in groups.values():
-        abr = orders[indices[0]].abr
-        if not supports_lockstep(abr):
-            for index in indices:
-                results[index] = orders[index].run()
+        if not supports_lockstep(order.abr):
+            results[index] = order.run()
             continue
-        group_results = _run_group(abr, [orders[index] for index in indices])
-        for index, result in zip(indices, group_results):
+        shards.setdefault(order.config, []).append(index)
+    for indices in shards.values():
+        shard_results = _run_shard([orders[index] for index in indices])
+        for index, result in zip(indices, shard_results):
             results[index] = result
     return results
 
 
-def _run_group(abr: ABRAlgorithm, orders: Sequence["WorkOrder"]) -> List[StreamResult]:
-    """Run one shard of orders (shared ABR and config) in lockstep."""
+def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
+    """Run one shard of orders (shared player config) in lockstep.
+
+    The *stepping* — download times, buffer evolution, stall accounting,
+    history rings — advances as one SoA batch across every order of the
+    shard, whatever its ABR; *decisions* are taken per ABR group by the
+    most batched driver that reproduces that ABR exactly.  Planner drivers
+    go further: instead of calling the kernel themselves they emit *plan
+    requests*, and the shard coordinator merges compatible requests
+    **across ABR instances** — same candidate tree, stall options,
+    scenario count, quality coefficients and weights mode, e.g. several
+    MPC or Fugu variants swept in one grid — into shared kernel calls.
+    The kernel's bit-identity contract is exactly that adding sessions to
+    a call's batch axis cannot change any session's values, so
+    cross-instance merging is free of semantic risk by the same argument
+    that lets lockstep batch one family.  Sessions are independent (every
+    serial session starts with ``abr.reset()``), so interleaving groups
+    in one shard cannot change any result.
+    """
     sessions = [
         StreamingSession(
             encoded=order.encoded,
             trace=order.trace,
-            abr=abr,
+            abr=order.abr,
             config=order.config,
             chunk_weights=order.chunk_weights,
         )
         for order in orders
     ]
-    states = [session.make_state() for session in sessions]
-    driver = _driver_for(abr, states)
-    live = list(range(len(states)))
-    while live:
-        decisions = driver.decide(live)
-        for state_index, decision in zip(live, decisions):
-            states[state_index].apply(decision)
-        live = [index for index in live if not states[index].done]
+    shard = ShardState(sessions)
+    groups: Dict[int, List[int]] = {}
+    abrs: Dict[int, ABRAlgorithm] = {}
+    for row, order in enumerate(orders):
+        groups.setdefault(id(order.abr), []).append(row)
+        abrs[id(order.abr)] = order.abr
+    drivers = [
+        (np.array(rows, dtype=int), _driver_for(abrs[abr_id], shard))
+        for abr_id, rows in groups.items()
+    ]
+    live = shard.live_rows
+    num_chunks = shard.num_chunks
+    while live.size:
+        levels = np.empty(live.size, dtype=int)
+        stalls = np.empty(live.size)
+        requests: List[_PlanRequest] = []
+        finishers = []
+        for group_rows, driver in drivers:
+            rows = group_rows[num_chunks[group_rows] > shard.step_index]
+            if not rows.size:
+                continue
+            positions = np.searchsorted(live, rows)
+            if isinstance(driver, _PlannerDriverBase):
+                group_requests, finish = driver.begin_round(rows)
+                requests.extend(group_requests)
+                finishers.append((positions, finish))
+            else:
+                group_levels, group_stalls = driver.decide(rows)
+                levels[positions] = group_levels
+                stalls[positions] = group_stalls
+        if requests:
+            _execute_plan_requests(requests, shard)
+        for positions, finish in finishers:
+            group_levels, group_stalls = finish()
+            levels[positions] = group_levels
+            stalls[positions] = group_stalls
+        shard.step(live, levels, stalls)
+        live = shard.live_rows
     return [
-        state.finalize(abr_name=abr.name, trace_name=order.trace.name)
-        for state, order in zip(states, orders)
+        shard.finalize(
+            row, abr_name=order.abr.name, trace_name=order.trace.name
+        )
+        for row, order in enumerate(orders)
     ]
 
 
-def _driver_for(abr: ABRAlgorithm, states: List[SessionState]):
+def _driver_for(abr: ABRAlgorithm, shard: ShardState):
     """The most batched driver that still reproduces ``abr.decide`` exactly.
 
     Exact-type checks: a subclass may override ``decide``, so anything not
@@ -145,27 +185,31 @@ def _driver_for(abr: ABRAlgorithm, states: List[SessionState]):
     the fast planner enabled) takes the generic per-session path.
     """
     if type(abr) is BufferBasedABR:
-        return _BBADriver(abr, states)
+        return _BBADriver(abr, shard)
     if getattr(abr, "use_fast_planner", False):
         if (
             type(abr) is ModelPredictiveABR
             and type(abr.predictor) is HarmonicMeanPredictor
         ):
-            return _MPCDriver(abr, states)
+            return _MPCDriver(abr, shard)
         if (
             type(abr) is FuguABR
             and type(abr.predictor) is ErrorDistributionPredictor
         ):
-            return _FuguDriver(abr, states)
+            return _FuguDriver(abr, shard)
         if (
             type(abr) is SenseiFuguABR
             and type(abr.predictor) is ErrorDistributionPredictor
         ):
-            return _SenseiFuguDriver(abr, states)
-    return _PerSessionDriver(abr, states)
+            return _SenseiFuguDriver(abr, shard)
+    return _PerSessionDriver(abr, shard)
 
 
 # ---------------------------------------------------------------- drivers
+#
+# A driver's ``decide(rows)`` returns ``(levels, proactive_stalls)`` arrays
+# aligned with ``rows`` — the SoA form of the serial path's per-session
+# ``Decision`` objects, consumed directly by :meth:`ShardState.step`.
 
 
 class _PerSessionDriver:
@@ -174,55 +218,66 @@ class _PerSessionDriver:
     Serial execution reuses one ABR instance with ``reset()`` between
     sessions — the contract that makes sessions independent.  A deep copy of
     the (reset) instance therefore decides identically, and per-session
-    clones let independent sessions interleave.
+    clones let independent sessions interleave.  Observations are served
+    row by row from the shard arrays and match the serial observations
+    exactly (same construction code — see
+    :func:`repro.player.session.observation_from_precompute`).
     """
 
-    def __init__(self, abr: ABRAlgorithm, states: List[SessionState]) -> None:
-        self.states = states
-        self.clones = [copy.deepcopy(abr) for _ in states]
+    def __init__(self, abr: ABRAlgorithm, shard: ShardState) -> None:
+        self.shard = shard
+        self.clones = [copy.deepcopy(abr) for _ in range(shard.num_sessions)]
         for clone in self.clones:
             clone.reset()
 
-    def decide(self, live: List[int]) -> List[Decision]:
-        return [
-            self.clones[index].decide(self.states[index].observe())
-            for index in live
-        ]
+    def decide(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        shard = self.shard
+        levels = np.zeros(rows.size, dtype=int)
+        stalls = np.zeros(rows.size)
+        for position, row in enumerate(rows):
+            decision = self.clones[row].decide(shard.observe(int(row)))
+            levels[position] = int(decision.level)
+            stalls[position] = float(decision.proactive_stall_s)
+        return levels, stalls
 
 
 class _BBADriver:
-    """Buffer-based adaptation without the observation detour.
+    """Buffer-based adaptation straight off the SoA buffer array.
 
     BBA's chunk map reads exactly one dynamic input — the buffer level — so
     the lockstep driver applies :meth:`BufferBasedABR.decide`'s arithmetic
-    directly to each session's state, skipping the per-chunk observation
-    build entirely.  The operations (and therefore the chosen levels) are
-    identical to the serial path.
+    to the whole shard's buffer array at once.  The operations (and
+    therefore the chosen levels) are identical to the serial path.
     """
 
-    def __init__(self, abr: BufferBasedABR, states: List[SessionState]) -> None:
+    def __init__(self, abr: BufferBasedABR, shard: ShardState) -> None:
         self.abr = abr
-        self.states = states
+        self.shard = shard
+        self.lowest = np.array(
+            [encoded.ladder.lowest_level for encoded in shard.encoded],
+            dtype=int,
+        )
+        self.highest = np.array(
+            [encoded.ladder.highest_level for encoded in shard.encoded],
+            dtype=int,
+        )
 
-    def decide(self, live: List[int]) -> List[Decision]:
+    def decide(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        shard = self.shard
         reservoir = self.abr.reservoir_s
         cushion = self.abr.cushion_s
-        decisions = []
-        for index in live:
-            state = self.states[index]
-            ladder = state.encoded.ladder
-            buffer_s = state.buffer.level_s
-            if buffer_s <= reservoir:
-                decisions.append(_cached_decision(ladder.lowest_level))
-            elif buffer_s >= reservoir + cushion:
-                decisions.append(_cached_decision(ladder.highest_level))
-            else:
-                fraction = (buffer_s - reservoir) / cushion
-                level = int(np.floor(fraction * (ladder.num_levels - 1) + 1e-9))
-                decisions.append(
-                    _cached_decision(ABRAlgorithm.clamp_level(level, ladder))
-                )
-        return decisions
+        buffer_s = shard.buffer_s[rows]
+        num_levels = shard.num_levels[rows]
+        fraction = (buffer_s - reservoir) / cushion
+        ramp = np.floor(fraction * (num_levels - 1) + 1e-9).astype(int)
+        # Inlined ABRAlgorithm.clamp_level on the ramp segment.
+        ramp = np.minimum(np.maximum(ramp, 0), num_levels - 1)
+        levels = np.where(
+            buffer_s <= reservoir,
+            self.lowest[rows],
+            np.where(buffer_s >= reservoir + cushion, self.highest[rows], ramp),
+        )
+        return levels, np.zeros(rows.size)
 
 
 class _HarmonicMeanState:
@@ -305,85 +360,292 @@ class _ErrorDistributionState:
         np.add.at(self.bin_counts, (recorded, indices), 1)
 
 
+class _PlanRequest:
+    """One pending kernel evaluation emitted by a planner driver.
+
+    Requests whose :attr:`key` matches plan over the *same* memoised
+    candidate tree with the same stall options, scenario count, quality
+    coefficients and weights mode; the shard coordinator concatenates
+    them — across ABR instances — into one kernel call and scatters the
+    per-session results back through :meth:`scatter`.  Merging is
+    bit-safe because the kernel is elementwise over the session axis.
+    """
+
+    __slots__ = (
+        "key", "start_level", "max_level_step", "bitrates", "stall_options",
+        "quality_model", "members", "positions", "buffer_s", "last_levels",
+        "scenario_tputs", "scenario_probs", "use_weights", "need_rebuffer",
+        "levels_out", "scores_out", "rebuffer_out",
+    )
+
+    def __init__(
+        self, *, key, start_level, max_level_step, bitrates, stall_options,
+        quality_model, members, positions, buffer_s, last_levels,
+        scenario_tputs, scenario_probs, use_weights, need_rebuffer,
+        levels_out, scores_out, rebuffer_out,
+    ) -> None:
+        self.key = key
+        self.start_level = start_level
+        self.max_level_step = max_level_step
+        self.bitrates = bitrates
+        self.stall_options = stall_options
+        self.quality_model = quality_model
+        self.members = members
+        self.positions = positions
+        self.buffer_s = buffer_s
+        self.last_levels = last_levels
+        self.scenario_tputs = scenario_tputs
+        self.scenario_probs = scenario_probs
+        self.use_weights = use_weights
+        self.need_rebuffer = need_rebuffer
+        self.levels_out = levels_out
+        self.scores_out = scores_out
+        self.rebuffer_out = rebuffer_out
+
+    def scatter(self, levels, scores, rebuffer) -> None:
+        self.levels_out[self.positions] = levels
+        if self.scores_out is not None:
+            self.scores_out[self.positions] = scores
+        if self.rebuffer_out is not None:
+            self.rebuffer_out[self.positions] = rebuffer
+
+
+#: Shared all-ones weight matrices per shape (the kernel never writes into
+#: its weights argument), reused by every unweighted bucket of a process.
+_UNIFORM_WEIGHTS: Dict[tuple, np.ndarray] = {}
+
+
+def _uniform_weights(num_sessions: int, horizon: int) -> np.ndarray:
+    weights = _UNIFORM_WEIGHTS.get((num_sessions, horizon))
+    if weights is None:
+        weights = np.ones((num_sessions, horizon))
+        _UNIFORM_WEIGHTS[(num_sessions, horizon)] = weights
+    return weights
+
+
+def _execute_plan_requests(
+    requests: List[_PlanRequest], shard: ShardState
+) -> None:
+    """Run every pending plan request, merging compatible ones.
+
+    Requests are bucketed by :attr:`_PlanRequest.key`; each bucket is one
+    candidate tree evaluated for the concatenation of its requests'
+    sessions (sliced to :attr:`_PlannerDriverBase.SPLIT_ABOVE` sessions
+    per kernel call, the cache-friendliness cap).  Because the kernel is
+    elementwise over the session axis, every session's outputs are bitwise
+    those of evaluating its own request alone.
+    """
+    buckets: Dict[tuple, List[_PlanRequest]] = {}
+    for request in requests:
+        buckets.setdefault(request.key, []).append(request)
+    chunk = shard.step_index
+    split_above = _PlannerDriverBase.SPLIT_ABOVE
+    for bucket in buckets.values():
+        first = bucket[0]
+        if len(bucket) == 1:
+            members = first.members
+            buffer_s = first.buffer_s
+            last_levels = first.last_levels
+            scenario_tputs = first.scenario_tputs
+            scenario_probs = first.scenario_probs
+        else:
+            members = np.concatenate([r.members for r in bucket])
+            buffer_s = np.concatenate([r.buffer_s for r in bucket])
+            last_levels = np.concatenate([r.last_levels for r in bucket])
+            scenario_tputs = np.vstack([r.scenario_tputs for r in bucket])
+            scenario_probs = np.vstack([r.scenario_probs for r in bucket])
+        horizon = first.key[0]
+        candidates = enumerate_level_sequences(
+            first.bitrates.size, horizon, max_step=first.max_level_step,
+            start_level=first.start_level,
+        )
+        if first.start_level is not None or first.max_level_step is None:
+            candidate_mask = None
+        else:
+            candidate_mask = (last_levels[:, None] < 0) | (
+                np.abs(candidates[None, :, 0] - last_levels[:, None])
+                <= first.max_level_step
+            )
+        sizes = shard.sizes_all[members, chunk:chunk + horizon]
+        # use_weights is part of the request key, so a bucket is uniformly
+        # weighted or uniformly unweighted.
+        use_weights = bucket[0].use_weights
+        need_rebuffer = any(r.need_rebuffer for r in bucket)
+        quality = shard.quality_all[members, chunk:chunk + horizon]
+        if use_weights:
+            weights = shard.weights_all[members, chunk:chunk + horizon]
+        else:
+            weights = _uniform_weights(members.size, horizon)
+        durations = (
+            shard.chunk_duration_shared
+            if shard.chunk_duration_shared is not None
+            else shard.chunk_duration[members]
+        )
+
+        count = members.size
+        slice_size = count if split_above is None else min(count, split_above)
+        slices = -(-count // slice_size)
+        slice_size = -(-count // slices)
+        levels = np.empty(count, dtype=int)
+        scores = np.empty(count)
+        rebuffer = np.empty(count)
+        for start in range(0, count, slice_size):
+            stop = min(count, start + slice_size)
+            batch = evaluate_candidates_batch(
+                candidates=candidates,
+                sizes=sizes[start:stop],
+                quality=quality[start:stop],
+                weights=weights[start:stop],
+                buffer_s=buffer_s[start:stop],
+                last_level=last_levels[start:stop],
+                scenario_tputs=scenario_tputs[start:stop],
+                scenario_probs=scenario_probs[start:stop],
+                bitrates_kbps=first.bitrates,
+                quality_model=first.quality_model,
+                stall_options_s=first.stall_options,
+                chunk_duration_s=(
+                    durations if isinstance(durations, float)
+                    else durations[start:stop]
+                ),
+                buffer_capacity_s=shard.buffer_capacity,
+                candidate_mask=(
+                    None if candidate_mask is None
+                    else candidate_mask[start:stop]
+                ),
+                need_expected_rebuffer=need_rebuffer,
+                weights_uniform=not use_weights,
+            )
+            levels[start:stop] = batch.best_level
+            scores[start:stop] = batch.best_score
+            rebuffer[start:stop] = batch.expected_rebuffer_s
+        offset = 0
+        for r in bucket:
+            stop = offset + r.members.size
+            r.scatter(
+                levels[offset:stop], scores[offset:stop],
+                rebuffer[offset:stop],
+            )
+            offset = stop
+
+
 class _PlannerDriverBase:
     """Shared machinery of the batched planner drivers.
 
-    Gathers per-session planner inputs into arrays, groups live sessions by
-    candidate-tree signature (sessions at a different previously-played
-    level or a shorter end-of-video horizon plan over different trees), and
-    evaluates each group with one 4-D kernel call over the group's shared,
-    memoised candidate matrix.
+    Planner inputs come straight off the shard's SoA arrays (no
+    per-session gather) and live sessions are grouped by candidate-tree
+    signature (sessions at a different previously-played level or a
+    shorter end-of-video horizon plan over different trees).  Instead of
+    evaluating each group itself, ``begin_round`` emits the groups as
+    :class:`_PlanRequest`\\ s; the shard coordinator merges compatible
+    requests across every planner family of the shard and runs one 4-D
+    kernel call per merged group.
     """
 
-    def __init__(self, abr, states: List[SessionState]) -> None:
+    def __init__(self, abr, shard: ShardState) -> None:
         self.abr = abr
-        self.states = states
+        self.shard = shard
         self.quality_model = abr.quality_model
+        coeffs = abr.quality_model.coefficients
+        self.coeff_key = (
+            coeffs.intercept, coeffs.quality_weight,
+            coeffs.rebuffer_weight, coeffs.switch_weight,
+        )
         self.max_level_step = abr.max_level_step
         self.plan_horizon = abr.horizon
-        chunk_durations = np.array([state.chunk_duration for state in states])
-        # A shared scalar keeps the kernel's broadcasts on the fast path.
         self.chunk_durations = (
-            float(chunk_durations[0])
-            if bool(np.all(chunk_durations == chunk_durations[0]))
-            else chunk_durations
+            shard.chunk_duration_shared
+            if shard.chunk_duration_shared is not None
+            else shard.chunk_duration
         )
-        self.buffer_capacity = states[0].config.buffer_capacity_s
-        self.obs_horizon = states[0].config.observation_horizon
+        self.buffer_capacity = shard.buffer_capacity
+        self.obs_horizon = shard.config.observation_horizon
         self.bitrates = [
-            np.asarray(state.encoded.ladder.bitrates_kbps, dtype=float)
-            for state in states
+            np.asarray(encoded.ladder.bitrates_kbps, dtype=float)
+            for encoded in shard.encoded
         ]
         self.ladder_keys = [
             tuple(bitrates.tolist()) for bitrates in self.bitrates
         ]
-        # Shard-wide (session, chunk, level) size/quality/weight matrices:
-        # one gather per kernel call instead of a Python stacking loop.
-        # Rows past a shorter video's end stay zero and are never read —
-        # horizons shrink with the chunks remaining, and grouping is by
-        # horizon.  Skipped when ladders differ in width (stack fallback).
-        num_levels = {bitrates.size for bitrates in self.bitrates}
-        if len(num_levels) == 1:
-            max_chunks = max(state.num_chunks for state in states)
-            shape = (len(states), max_chunks, num_levels.pop())
-            self.sizes_all = np.zeros(shape)
-            self.quality_all = np.zeros(shape)
-            self.weights_all = np.zeros(shape[:2])
-            for index, state in enumerate(states):
-                self.sizes_all[index, : state.num_chunks] = (
-                    state.precompute.sizes_bytes
-                )
-                self.quality_all[index, : state.num_chunks] = (
-                    state.precompute.quality
-                )
-                self.weights_all[index, : state.num_chunks] = (
-                    state.chunk_weights
-                )
-        else:
-            self.sizes_all = None
-            self.quality_all = None
-            self.weights_all = None
+        # Shard-wide (session, chunk, level) matrices: one gather per
+        # kernel call instead of a Python stacking loop.  Zero-padded
+        # rows/levels past a shorter video's end (or a narrower ladder)
+        # are never read — horizons shrink with the chunks remaining,
+        # grouping is by (horizon, ladder), and candidate levels stay
+        # within the group's ladder.  Shared across the shard's drivers.
+        self.sizes_all = shard.sizes_all
+        self.quality_all = shard.quality_all
+        self.weights_all = shard.weights_all
 
-    def _histories(self, live: List[int]) -> np.ndarray:
-        """(len(live), samples) throughput histories — rectangular because
+    def _histories(self, rows: np.ndarray) -> np.ndarray:
+        """(len(rows), samples) throughput histories — rectangular because
         every live session has completed the same number of chunks."""
-        return np.stack(
-            [self.states[index].throughput_history.as_array() for index in live]
-        )
+        return self.shard.throughput_history.matrix(rows)
 
-    def _gather(self, live: List[int]):
-        """Per-session planner inputs for one chunk step."""
-        states = self.states
-        buffer_s = np.array([states[index].buffer.level_s for index in live])
-        last_levels = np.array([states[index].last_level for index in live])
-        horizons = [
-            min(
-                self.plan_horizon,
-                self.obs_horizon,
-                states[index].num_chunks - states[index].next_chunk,
+    def _emit_requests(
+        self,
+        rows: np.ndarray,
+        horizons: List[int],
+        last_levels: np.ndarray,
+        buffer_s: np.ndarray,
+        scenario_tputs: np.ndarray,
+        scenario_probs: np.ndarray,
+        use_weights: bool,
+        need_rebuffer: bool,
+        levels_out: np.ndarray,
+        scores_out: Optional[np.ndarray] = None,
+        rebuffer_out: Optional[np.ndarray] = None,
+    ) -> List[_PlanRequest]:
+        """One :class:`_PlanRequest` per candidate-tree group of ``rows``."""
+        num_scenarios = scenario_tputs.shape[1]
+        requests = []
+        for key, (start_level, positions) in self._plan_groups(
+            rows, horizons, last_levels, split=False
+        ).items():
+            members = rows[positions]
+            requests.append(
+                _PlanRequest(
+                    # use_weights is part of the key: merging weighted and
+                    # unweighted rounds would push the unweighted sessions
+                    # through the kernel's (costlier) weighted path —
+                    # bit-identical, but slower than two separate calls.
+                    key=(
+                        key[0], key[1], start_level, self.max_level_step,
+                        self.stall_options, num_scenarios, self.coeff_key,
+                        use_weights,
+                    ),
+                    start_level=start_level,
+                    max_level_step=self.max_level_step,
+                    bitrates=self.bitrates[members[0]],
+                    stall_options=self.stall_options,
+                    quality_model=self.quality_model,
+                    members=members,
+                    positions=positions,
+                    buffer_s=buffer_s[positions],
+                    last_levels=last_levels[positions],
+                    scenario_tputs=scenario_tputs[positions],
+                    scenario_probs=scenario_probs[positions],
+                    use_weights=use_weights,
+                    need_rebuffer=need_rebuffer,
+                    levels_out=levels_out,
+                    scores_out=scores_out,
+                    rebuffer_out=rebuffer_out,
+                )
             )
-            for index in live
-        ]
+        return requests
+
+    #: The stall options of the mergeable (phase-one / no-stall) round.
+    stall_options = (0.0,)
+
+    def _gather(self, rows: np.ndarray):
+        """Per-session planner inputs for one chunk step — array slices of
+        the shard state rather than a per-session Python gather."""
+        shard = self.shard
+        buffer_s = shard.buffer_s[rows]
+        last_levels = shard.last_levels(rows)
+        horizons = np.minimum(
+            min(self.plan_horizon, self.obs_horizon),
+            shard.num_chunks[rows] - shard.step_index,
+        ).tolist()
         return buffer_s, last_levels, horizons
 
     #: Subtree groups smaller than this are merged into one masked-union
@@ -392,17 +654,21 @@ class _PlannerDriverBase:
     MERGE_BELOW = 4
 
     #: Kernel calls are capped at this many sessions; larger groups are
-    #: sliced.  The kernel's working set per session is a few dozen KB, and
-    #: once a call outgrows the per-core cache its per-session cost jumps
-    #: several-fold — two half-size calls are then cheaper than one.
-    SPLIT_ABOVE = 8
+    #: sliced (by the coordinator, after cross-family merging).  The
+    #: kernel's working set per session is a few dozen KB, and once a call
+    #: outgrows the per-core cache its per-session cost jumps several-fold
+    #: — two half-size calls are then cheaper than one.  (The PR 5 kernel
+    #: carries less per-call dispatch overhead than PR 4's, so the sweet
+    #: spot moved up from 8.)
+    SPLIT_ABOVE = 12
 
     def _plan_groups(
         self,
-        live: List[int],
+        live: Sequence[int],
         horizons: List[int],
         last_levels: np.ndarray,
         extra_keys: Optional[List[tuple]] = None,
+        split: bool = True,
     ) -> Dict[tuple, Tuple[Optional[int], List[int]]]:
         """Kernel-call groups: ``key -> (start_level, positions into live)``.
 
@@ -434,24 +700,26 @@ class _PlannerDriverBase:
                 merged_key = key[:2] + ("merged",) + key[3:]
                 entry = groups.setdefault(merged_key, (None, []))
                 entry[1].extend(positions)
-        if self.SPLIT_ABOVE is None:
+        if self.SPLIT_ABOVE is None or not split:
+            # Request emission leaves splitting to the coordinator, which
+            # slices *after* cross-family merging.
             return groups
-        split: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
+        sliced: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
         for key, (start, positions) in groups.items():
             if len(positions) <= self.SPLIT_ABOVE:
-                split[key] = (start, positions)
+                sliced[key] = (start, positions)
                 continue
             slices = -(-len(positions) // self.SPLIT_ABOVE)
             size = -(-len(positions) // slices)
             for slice_index in range(slices):
                 chunk = positions[slice_index * size:(slice_index + 1) * size]
                 if chunk:
-                    split[key + (slice_index,)] = (start, chunk)
-        return split
+                    sliced[key + (slice_index,)] = (start, chunk)
+        return sliced
 
     def _evaluate_group(
         self,
-        live: List[int],
+        live: np.ndarray,
         positions: List[int],
         horizon: int,
         start_level: Optional[int],
@@ -460,13 +728,12 @@ class _PlannerDriverBase:
         scenario_tputs: np.ndarray,
         scenario_probs: np.ndarray,
         stall_options_s: Sequence[float],
-        weights_rows: Optional[List[np.ndarray]] = None,
+        use_weights: bool = False,
         need_expected_rebuffer: bool = True,
     ):
         """One batched kernel call for a group sharing a candidate tree."""
-        states = self.states
-        members = [live[position] for position in positions]
-        chunk = states[members[0]].next_chunk
+        members = live[positions]
+        chunk = self.shard.step_index
         bitrates = self.bitrates[members[0]]
         candidates = enumerate_level_sequences(
             bitrates.size, horizon, max_step=self.max_level_step,
@@ -480,30 +747,12 @@ class _PlannerDriverBase:
                 np.abs(candidates[None, :, 0] - group_last[:, None])
                 <= self.max_level_step
             )
-        if self.sizes_all is not None:
-            sizes = self.sizes_all[members, chunk:chunk + horizon]
-            quality = self.quality_all[members, chunk:chunk + horizon]
-        else:
-            sizes = np.stack(
-                [
-                    states[index].precompute.sizes_bytes[chunk:chunk + horizon]
-                    for index in members
-                ]
-            )
-            quality = np.stack(
-                [
-                    states[index].precompute.quality[chunk:chunk + horizon]
-                    for index in members
-                ]
-            )
-        if weights_rows is None:
-            weights = np.ones((len(members), horizon))
-        elif self.weights_all is not None:
+        sizes = self.sizes_all[members, chunk:chunk + horizon]
+        quality = self.quality_all[members, chunk:chunk + horizon]
+        if use_weights:
             weights = self.weights_all[members, chunk:chunk + horizon]
         else:
-            weights = np.stack(
-                [weights_rows[position][:horizon] for position in positions]
-            )
+            weights = _uniform_weights(members.size, horizon)
         return evaluate_candidates_batch(
             candidates=candidates,
             sizes=sizes,
@@ -524,7 +773,7 @@ class _PlannerDriverBase:
             buffer_capacity_s=self.buffer_capacity,
             candidate_mask=candidate_mask,
             need_expected_rebuffer=need_expected_rebuffer,
-            weights_uniform=weights_rows is None,
+            weights_uniform=not use_weights,
         )
 
 
@@ -532,51 +781,55 @@ class _MPCDriver(_PlannerDriverBase):
     """Batched :class:`ModelPredictiveABR`: conservative point prediction,
     one scenario, no stalls."""
 
-    def __init__(self, abr: ModelPredictiveABR, states) -> None:
-        super().__init__(abr, states)
+    def __init__(self, abr: ModelPredictiveABR, shard: ShardState) -> None:
+        super().__init__(abr, shard)
         self.predictor = _HarmonicMeanState(abr.predictor)
 
-    def decide(self, live: List[int]) -> List[Decision]:
-        predicted = self.predictor.predict(self._histories(live))
+    def begin_round(self, rows: np.ndarray):
+        predicted = self.predictor.predict(self._histories(rows))
         conservative = predicted / (1.0 + self.abr.robustness_discount)
         scenario_tputs = conservative[:, None]
-        scenario_probs = np.ones((len(live), 1))
-        buffer_s, last_levels, horizons = self._gather(live)
-        levels = np.zeros(len(live), dtype=int)
-        groups = self._plan_groups(live, horizons, last_levels)
-        for key, (start_level, positions) in groups.items():
-            batch = self._evaluate_group(
-                live, positions, key[0], start_level, buffer_s, last_levels,
-                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
-                need_expected_rebuffer=False,
-            )
-            levels[positions] = batch.best_level
-        return [_cached_decision(int(level)) for level in levels]
+        scenario_probs = np.ones((rows.size, 1))
+        buffer_s, last_levels, horizons = self._gather(rows)
+        levels = np.zeros(rows.size, dtype=int)
+        requests = self._emit_requests(
+            rows, horizons, last_levels, buffer_s, scenario_tputs,
+            scenario_probs, use_weights=False, need_rebuffer=False,
+            levels_out=levels,
+        )
+
+        def finish() -> Tuple[np.ndarray, np.ndarray]:
+            return levels, np.zeros(rows.size)
+
+        return requests, finish
 
 
 class _FuguDriver(_PlannerDriverBase):
     """Batched :class:`FuguABR`: expectation over the learned
     throughput-error distribution, no stalls."""
 
-    def __init__(self, abr: FuguABR, states) -> None:
-        super().__init__(abr, states)
-        self.predictor = _ErrorDistributionState(abr.predictor, len(states))
-
-    def decide(self, live: List[int]) -> List[Decision]:
-        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
-            np.asarray(live), self._histories(live)
+    def __init__(self, abr: FuguABR, shard: ShardState) -> None:
+        super().__init__(abr, shard)
+        self.predictor = _ErrorDistributionState(
+            abr.predictor, shard.num_sessions
         )
-        buffer_s, last_levels, horizons = self._gather(live)
-        levels = np.zeros(len(live), dtype=int)
-        groups = self._plan_groups(live, horizons, last_levels)
-        for key, (start_level, positions) in groups.items():
-            batch = self._evaluate_group(
-                live, positions, key[0], start_level, buffer_s, last_levels,
-                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
-                need_expected_rebuffer=False,
-            )
-            levels[positions] = batch.best_level
-        return [_cached_decision(int(level)) for level in levels]
+
+    def begin_round(self, rows: np.ndarray):
+        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
+            rows, self._histories(rows)
+        )
+        buffer_s, last_levels, horizons = self._gather(rows)
+        levels = np.zeros(rows.size, dtype=int)
+        requests = self._emit_requests(
+            rows, horizons, last_levels, buffer_s, scenario_tputs,
+            scenario_probs, use_weights=False, need_rebuffer=False,
+            levels_out=levels,
+        )
+
+        def finish() -> Tuple[np.ndarray, np.ndarray]:
+            return levels, np.zeros(rows.size)
+
+        return requests, finish
 
 
 class _SenseiFuguDriver(_PlannerDriverBase):
@@ -590,63 +843,80 @@ class _SenseiFuguDriver(_PlannerDriverBase):
     options, adopted when it strictly beats the no-stall plan.
     """
 
-    def __init__(self, abr: SenseiFuguABR, states) -> None:
-        super().__init__(abr, states)
-        self.predictor = _ErrorDistributionState(abr.predictor, len(states))
-        self.proactive_spent_s = np.zeros(len(states))
-
-    def decide(self, live: List[int]) -> List[Decision]:
-        abr = self.abr
-        states = self.states
-        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
-            np.asarray(live), self._histories(live)
+    def __init__(self, abr: SenseiFuguABR, shard: ShardState) -> None:
+        super().__init__(abr, shard)
+        self.predictor = _ErrorDistributionState(
+            abr.predictor, shard.num_sessions
         )
-        buffer_s, last_levels, horizons = self._gather(live)
-        weights_rows = [
-            states[index].chunk_weights[
-                states[index].next_chunk:states[index].next_chunk
-                + horizons[position]
-            ]
-            for position, index in enumerate(live)
-        ]
+        self.proactive_spent_s = np.zeros(shard.num_sessions)
 
-        count = len(live)
+    def begin_round(self, rows: np.ndarray):
+        abr = self.abr
+        chunk = self.shard.step_index
+        scenario_tputs, scenario_probs = self.predictor.predict_distribution(
+            rows, self._histories(rows)
+        )
+        buffer_s, last_levels, horizons = self._gather(rows)
+
+        count = rows.size
         # Pre-gates of the stall consideration that do not depend on the
         # plan evaluation: buffer floor, per-session budget, weight shift.
         # When no live session passes them, phase one can skip its
         # rebuffer-expectation work — the gate is closed regardless (the
         # common steady state once a session's stall budget is spent).
-        spent = self.proactive_spent_s[np.asarray(live)]
+        spent = self.proactive_spent_s[rows]
         if len(abr.stall_options_s) > 1:
             pre_gate = (buffer_s >= abr.min_stall_buffer_s) & (
                 spent < abr.max_total_proactive_stall_s
             )
-            for position in np.flatnonzero(pre_gate):
-                ahead = weights_rows[position]
-                pre_gate[position] = bool(
-                    ahead.size > 1
-                    and float(np.max(ahead[1:])) > float(ahead[0]) * 1.05
-                )
+            # Weight-shift gate, vectorised per distinct horizon: a stall
+            # only helps when some upcoming chunk is meaningfully more
+            # sensitive than the next one (same comparison as the scalar
+            # decide(), batched over equal-width weight windows).
+            candidates_mask = pre_gate.copy()
+            pre_gate[:] = False
+            horizon_arr = np.asarray(horizons)
+            for span in np.unique(horizon_arr[candidates_mask]):
+                if span <= 1:
+                    continue
+                group = np.flatnonzero(candidates_mask & (horizon_arr == span))
+                ahead = self.weights_all[
+                    rows[group][:, None],
+                    chunk + 1 + np.arange(span - 1)[None, :],
+                ]
+                first = self.weights_all[rows[group], chunk]
+                pre_gate[group] = ahead.max(axis=1) > first * 1.05
         else:
             pre_gate = np.zeros(count, dtype=bool)
         need_rebuffer = bool(np.any(pre_gate))
 
         levels = np.zeros(count, dtype=int)
-        stalls = np.zeros(count)
         scores = np.zeros(count)
         rebuffer = np.zeros(count)
-        groups = self._plan_groups(live, horizons, last_levels)
-        for key, (start_level, positions) in groups.items():
-            batch = self._evaluate_group(
-                live, positions, key[0], start_level, buffer_s, last_levels,
-                scenario_tputs, scenario_probs, stall_options_s=(0.0,),
-                weights_rows=weights_rows,
-                need_expected_rebuffer=need_rebuffer,
-            )
-            levels[positions] = batch.best_level
-            scores[positions] = batch.best_score
-            rebuffer[positions] = batch.expected_rebuffer_s
+        requests = self._emit_requests(
+            rows, horizons, last_levels, buffer_s, scenario_tputs,
+            scenario_probs, use_weights=True, need_rebuffer=need_rebuffer,
+            levels_out=levels, scores_out=scores, rebuffer_out=rebuffer,
+        )
 
+        def finish() -> Tuple[np.ndarray, np.ndarray]:
+            return self._consider_stalls(
+                rows, horizons, last_levels, buffer_s, scenario_tputs,
+                scenario_probs, spent, pre_gate, levels, scores, rebuffer,
+            )
+
+        return requests, finish
+
+    def _consider_stalls(
+        self, rows, horizons, last_levels, buffer_s, scenario_tputs,
+        scenario_probs, spent, pre_gate, levels, scores, rebuffer,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Phase two, after the no-stall round: re-plan the gated sessions
+        over their budget-allowed stall options (exactly as the scalar
+        decide() does), adopt strictly-better plans, track budgets."""
+        abr = self.abr
+        count = rows.size
+        stalls = np.zeros(count)
         # The full stall gate, exactly as the scalar decide() applies it.
         plausible = pre_gate & (rebuffer >= abr.stall_risk_threshold_s)
 
@@ -662,9 +932,9 @@ class _SenseiFuguDriver(_PlannerDriverBase):
             plausible_positions = [
                 int(position) for position in np.flatnonzero(plausible)
             ]
-            sub_live = [live[position] for position in plausible_positions]
+            sub_rows = rows[plausible_positions]
             groups = self._plan_groups(
-                sub_live,
+                sub_rows,
                 [horizons[position] for position in plausible_positions],
                 last_levels[plausible_positions],
                 extra_keys=[
@@ -677,9 +947,9 @@ class _SenseiFuguDriver(_PlannerDriverBase):
                     for sub_position in sub_positions
                 ]
                 batch = self._evaluate_group(
-                    live, positions, key[0], start_level, buffer_s,
+                    rows, positions, key[0], start_level, buffer_s,
                     last_levels, scenario_tputs, scenario_probs,
-                    stall_options_s=key[3], weights_rows=weights_rows,
+                    stall_options_s=key[3], use_weights=True,
                     need_expected_rebuffer=False,
                 )
                 better = batch.best_score > scores[positions]
@@ -693,16 +963,7 @@ class _SenseiFuguDriver(_PlannerDriverBase):
                     better, batch.best_score, scores[positions]
                 )
 
-        decisions = []
-        for position, index in enumerate(live):
-            stall = float(stalls[position])
-            if stall > 0:
-                self.proactive_spent_s[index] += stall
-                decisions.append(
-                    Decision(
-                        level=int(levels[position]), proactive_stall_s=stall
-                    )
-                )
-            else:
-                decisions.append(_cached_decision(int(levels[position])))
-        return decisions
+        stalling = stalls > 0
+        if np.any(stalling):
+            self.proactive_spent_s[rows[stalling]] += stalls[stalling]
+        return levels, stalls

@@ -122,3 +122,57 @@ class HistoryRing:
         if self._count == 0:
             return float(default)
         return float(self._buffer[(self._next - 1) % self.capacity])
+
+
+class HistoryMatrix:
+    """A whole shard's :class:`HistoryRing`\\ s as one (sessions, capacity)
+    matrix with a shared write pointer.
+
+    The lockstep engine appends one sample per session per chunk step, so
+    every row's ring pointer advances in unison; a single shared pointer
+    turns the per-session ``push`` loop into one column assignment and the
+    per-session ``as_array`` stacking into one sliced gather.  Rows of
+    sessions that finished early simply stop being written (and are never
+    read again).  Row extraction matches :meth:`HistoryRing.as_array`
+    sample for sample: oldest first, at most ``capacity`` entries.
+    """
+
+    def __init__(self, num_rows: int, capacity: int) -> None:
+        require(num_rows >= 1, "need at least one row")
+        require(capacity >= 1, "ring capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buffer = np.empty((num_rows, self.capacity), dtype=float)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push_column(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Append one sample per row (for ``rows``), advancing the shared
+        pointer once.  Every live row must be written every step."""
+        self._buffer[rows, self._next] = values
+        self._next = (self._next + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    def matrix(self, rows: np.ndarray) -> np.ndarray:
+        """(len(rows), len(self)) samples, oldest first per row."""
+        if self._count < self.capacity:
+            return self._buffer[rows, : self._count]
+        if self._next == 0:
+            return self._buffer[rows]
+        taken = self._buffer[rows]
+        return np.concatenate(
+            [taken[:, self._next:], taken[:, : self._next]], axis=1
+        )
+
+    def row(self, index: int) -> np.ndarray:
+        """One row, oldest first — equals that row's ring ``as_array()``."""
+        if self._count < self.capacity:
+            return self._buffer[index, : self._count].copy()
+        if self._next == 0:
+            return self._buffer[index].copy()
+        return np.concatenate(
+            [self._buffer[index, self._next:], self._buffer[index, : self._next]]
+        )

@@ -9,10 +9,14 @@ with three interchangeable backends:
   instances it is given.  This is byte-for-byte the seed behaviour and the
   backend tests and equivalence checks rely on.
 * ``lockstep`` — runs orders through the lockstep multi-session core
-  (:mod:`repro.engine.lockstep`): sessions sharing an ABR advance chunk by
-  chunk together and the planner is evaluated across sessions as one
-  batched tensor.  Results are bit-identical to ``serial``
-  (``tests/test_lockstep.py``); this is the fastest single-process backend.
+  (:mod:`repro.engine.lockstep`): whole shards of sessions advance chunk
+  by chunk as structure-of-arrays state (:mod:`repro.player.shard` —
+  batched download integrals, masked buffer/stall evolution, shared
+  history rings) and the planner is evaluated across sessions — and
+  across compatible ABR instances — as batched tensors.  Results are
+  bit-identical to ``serial`` (``tests/test_lockstep.py``, the golden
+  masters and the property/fuzz layers — see ``docs/TESTING.md``); this
+  is the fastest single-process backend.
 * ``process`` — shards orders over a ``ProcessPoolExecutor``.  Orders are
   dispatched as *chunked shards* (one pickle per shard, several orders
   each): orders in a shard share their pickled videos, so each worker

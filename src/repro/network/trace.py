@@ -70,6 +70,10 @@ class ThroughputTrace:
         rates_bits = np.maximum(bw, _MIN_BANDWIDTH_MBPS) * 1e6
         capacity_bits = rates_bits * (segment_ends - ts)
         cum_capacity = np.cumsum(capacity_bits)
+        segment_ends.setflags(write=False)
+        rates_bits.setflags(write=False)
+        cum_capacity.setflags(write=False)
+        object.__setattr__(self, "_segment_ends", segment_ends)
         object.__setattr__(self, "_segment_rates_bits", rates_bits)
         object.__setattr__(self, "_cum_capacity_bits", cum_capacity)
         # Plain-float mirrors of the index arrays: ``download_time_s`` is
@@ -168,6 +172,72 @@ class ThroughputTrace:
         if end_seg >= num_segments:  # within_cycle landed on cum[-1] by rounding
             end_seg = num_segments - 1
         bits_into_seg = within_cycle - (cum[end_seg - 1] if end_seg else 0.0)
+        end_time = ts[end_seg] + bits_into_seg / rates[end_seg]
+        return full_cycles * duration + end_time - wrapped
+
+    def download_times_batch(
+        self, sizes_bytes: np.ndarray, start_times_s: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`download_time_s` over aligned size/start arrays.
+
+        One fused evaluation of the indexed integral for a whole batch of
+        downloads — the lockstep engine calls this once per chunk step per
+        trace instead of once per session.
+
+        Bit-identity contract: every operation is the elementwise numpy
+        counterpart of the scalar path's arithmetic on the *same* float64
+        values — ``np.mod``/``np.divmod`` implement CPython's float
+        ``%``/``divmod`` semantics exactly (both reduce to ``fmod`` plus the
+        identical sign/rounding corrections), ``np.searchsorted(side="right")``
+        is ``bisect_right``, and +, -, *, / are IEEE-754 regardless of batch
+        shape — so each entry of the result is bitwise equal to calling
+        :meth:`download_time_s` with that entry's arguments alone.  Enforced
+        by the hypothesis suite (``tests/test_properties.py``) and the
+        lockstep golden masters.
+        """
+        sizes = np.asarray(sizes_bytes, dtype=float)
+        starts = np.asarray(start_times_s, dtype=float)
+        require(sizes.shape == starts.shape, "sizes and starts must align")
+        require(bool(np.all(sizes > 0)), "size_bytes must be positive")
+        require(bool(np.all(starts >= 0)), "start_time_s must be >= 0")
+        return self._download_times_batch_unchecked(sizes, starts)
+
+    def _download_times_batch_unchecked(
+        self, sizes: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`download_times_batch` without input validation.
+
+        The lockstep stepping calls this once per chunk step per trace with
+        arguments it constructs itself (chunk sizes are positive by video
+        construction, wall clocks are monotone from 0), so the per-call
+        validation would be pure overhead on the hottest loop in the
+        engine.  Everything else about the public method's bit-identity
+        contract applies unchanged.
+        """
+        ts = self.timestamps_s
+        cum = self._cum_capacity_bits
+        rates = self._segment_rates_bits
+        seg_ends = self._segment_ends
+        duration = self._duration_s
+        num_segments = ts.size
+        cycle_bits = cum[-1]
+
+        wrapped = np.mod(starts, duration)
+        start_seg = np.maximum(
+            np.searchsorted(ts, wrapped, side="right") - 1, 0
+        )
+        # Bits deliverable from the cycle start up to the wrapped start time.
+        bits_before = cum[start_seg] - rates[start_seg] * (
+            seg_ends[start_seg] - wrapped
+        )
+        target_bits = bits_before + sizes * 8.0
+        full_cycles, within_cycle = np.divmod(target_bits, cycle_bits)
+        end_seg = np.searchsorted(cum, within_cycle, side="right")
+        # within_cycle can land on cum[-1] by rounding, exactly like the
+        # scalar path's clamp.
+        end_seg = np.minimum(end_seg, num_segments - 1)
+        prev_cum = np.where(end_seg > 0, cum[np.maximum(end_seg - 1, 0)], 0.0)
+        bits_into_seg = within_cycle - prev_cum
         end_time = ts[end_seg] + bits_into_seg / rates[end_seg]
         return full_cycles * duration + end_time - wrapped
 

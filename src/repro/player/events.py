@@ -112,3 +112,46 @@ class SessionTimeline:
     def measured_throughputs_mbps(self) -> List[float]:
         """Throughput measurement per downloaded chunk, in order."""
         return [d.throughput_mbps for d in self.downloads]
+
+
+def _identity(value):
+    """Module-level identity (pickle target for :class:`LazySessionTimeline`)."""
+    return value
+
+
+class LazySessionTimeline:
+    """A :class:`SessionTimeline` materialised on first access.
+
+    The SoA lockstep engine accumulates per-chunk download data as arrays;
+    most consumers (grid sweeps, QoE scoring) only ever read the rendered
+    video, so building the thousands of per-chunk :class:`DownloadRecord`
+    objects eagerly would be wasted work on the hot path.  This wrapper
+    defers that construction: any attribute or method access builds the
+    real timeline once and delegates to it from then on, so observable
+    values are exactly those of the eager timeline.  Pickling (the process
+    backend ships results between workers) materialises and serialises the
+    plain :class:`SessionTimeline`.
+    """
+
+    __slots__ = ("_build", "_timeline")
+
+    def __init__(self, build) -> None:
+        object.__setattr__(self, "_build", build)
+        object.__setattr__(self, "_timeline", None)
+
+    def _materialise(self) -> SessionTimeline:
+        timeline = object.__getattribute__(self, "_timeline")
+        if timeline is None:
+            build = object.__getattribute__(self, "_build")
+            timeline = build()
+            object.__setattr__(self, "_timeline", timeline)
+            object.__setattr__(self, "_build", None)
+        return timeline
+
+    def __getattr__(self, name: str):
+        # Only reached for names not in __slots__: delegate everything the
+        # timeline interface exposes (downloads, stalls, methods, ...).
+        return getattr(self._materialise(), name)
+
+    def __reduce__(self):
+        return (_identity, (self._materialise(),))

@@ -37,6 +37,49 @@ from repro.video.rendering import RenderedVideo
 #: sample (or a division-by-zero) in the download record.
 MIN_DOWNLOAD_DURATION_S = 1e-9
 
+#: Threshold below which residual playback time/buffer is treated as zero
+#: by the playback-advance loop (seed semantics, shared verbatim by the
+#: scalar path here and the SoA path in :mod:`repro.player.shard`).
+PLAYBACK_EPSILON_S = 1e-9
+
+
+def observation_from_precompute(
+    *,
+    precompute: "SessionPrecompute",
+    config: SessionConfig,
+    chunk_weights: np.ndarray,
+    chunk_index: int,
+    buffer_s: float,
+    last_level: int,
+    throughput: np.ndarray,
+    download_times: np.ndarray,
+) -> PlayerObservation:
+    """The per-chunk observation served from precomputed matrices.
+
+    Shared by :class:`SessionState` (scalar stepping) and
+    :class:`~repro.player.shard.ShardState` (SoA stepping) so both paths
+    build observations with the exact same code — upcoming sizes/quality as
+    zero-copy slices, histories already trimmed to ``history_length``.
+    """
+    encoded = precompute.encoded
+    horizon = min(config.observation_horizon, encoded.num_chunks - chunk_index)
+    sizes, quality = precompute.upcoming(chunk_index, horizon)
+    weights = chunk_weights[chunk_index : chunk_index + horizon].copy()
+    return PlayerObservation(
+        chunk_index=chunk_index,
+        num_chunks=encoded.num_chunks,
+        buffer_s=buffer_s,
+        last_level=last_level,
+        throughput_history_mbps=throughput,
+        download_time_history_s=download_times,
+        upcoming_sizes_bytes=sizes,
+        upcoming_quality=quality,
+        upcoming_weights=weights,
+        chunk_duration_s=encoded.chunk_duration_s,
+        ladder=encoded.ladder,
+        buffer_capacity_s=config.buffer_capacity_s,
+    )
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -323,12 +366,12 @@ class SessionState:
         buffer empties.
         """
         remaining = elapsed_s
-        while remaining > 1e-9:
+        while remaining > PLAYBACK_EPSILON_S:
             next_chunk = min(
                 self.num_chunks - 1,
                 int(self.played_s / self.chunk_duration + 1e-9),
             )
-            if self.pending_proactive_s > 1e-9:
+            if self.pending_proactive_s > PLAYBACK_EPSILON_S:
                 pause = min(self.pending_proactive_s, remaining)
                 self.stalls[next_chunk] += pause
                 self.timeline.add_stall(
@@ -369,35 +412,42 @@ class SessionState:
         throughput_history,
         download_time_history,
     ) -> PlayerObservation:
-        horizon = min(
-            self.config.observation_horizon, self.encoded.num_chunks - chunk_index
-        )
         if self.use_precompute:
             # Sliced views of the per-video matrices; ring buffers already
             # hold exactly the last ``history_length`` samples.
-            sizes, quality = self.precompute.upcoming(chunk_index, horizon)
-            throughput = throughput_history.as_array()
-            download_times = download_time_history.as_array()
-        else:
-            sizes = np.stack(
-                [
-                    self.encoded.chunks[chunk_index + offset].sizes_bytes
-                    for offset in range(horizon)
-                ]
+            return observation_from_precompute(
+                precompute=self.precompute,
+                config=self.config,
+                chunk_weights=self.chunk_weights,
+                chunk_index=chunk_index,
+                buffer_s=buffer_s,
+                last_level=last_level,
+                throughput=throughput_history.as_array(),
+                download_times=download_time_history.as_array(),
             )
-            quality = np.stack(
-                [
-                    self.encoded.chunks[chunk_index + offset].quality
-                    for offset in range(horizon)
-                ]
-            )
-            history_len = self.config.history_length
-            throughput = np.asarray(
-                throughput_history[-history_len:], dtype=float
-            )
-            download_times = np.asarray(
-                download_time_history[-history_len:], dtype=float
-            )
+        # Seed path: per-chunk stacking and unbounded list histories.
+        horizon = min(
+            self.config.observation_horizon, self.encoded.num_chunks - chunk_index
+        )
+        sizes = np.stack(
+            [
+                self.encoded.chunks[chunk_index + offset].sizes_bytes
+                for offset in range(horizon)
+            ]
+        )
+        quality = np.stack(
+            [
+                self.encoded.chunks[chunk_index + offset].quality
+                for offset in range(horizon)
+            ]
+        )
+        history_len = self.config.history_length
+        throughput = np.asarray(
+            throughput_history[-history_len:], dtype=float
+        )
+        download_times = np.asarray(
+            download_time_history[-history_len:], dtype=float
+        )
         weights = self.chunk_weights[chunk_index : chunk_index + horizon].copy()
         return PlayerObservation(
             chunk_index=chunk_index,

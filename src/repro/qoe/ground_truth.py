@@ -164,7 +164,16 @@ class GroundTruthOracle:
         for index in edge_indices:
             lo = max(0, index - 3)
             hi = min(num_chunks, index + 4)
-            local_reference = float(np.median(bitrate_norm[lo:hi]))
+            # Median of a <= 7-element window without np.median's per-call
+            # machinery: the sorted middle element (odd length) or the mean
+            # of the two middles (even) — ``(a + b) * 0.5 == (a + b) / 2``
+            # exactly, so the value is bit-identical to np.median's.
+            window = np.sort(bitrate_norm[lo:hi])
+            mid = window.size // 2
+            if window.size % 2:
+                local_reference = float(window[mid])
+            else:
+                local_reference = float((window[mid - 1] + window[mid]) * 0.5)
             dips[index] = max(0.0, local_reference - bitrate_norm[index])
         # Quadratic in the dip magnitude: a one-rung wobble is barely
         # noticeable, a drop to the lowest rung at a key moment clearly is.

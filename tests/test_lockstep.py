@@ -14,6 +14,8 @@ from unittest import mock
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.abr.bba import BufferBasedABR
 from repro.abr.fugu import FuguABR
@@ -135,6 +137,24 @@ class TestLockstepEquivalence:
         videos, traces, weights = ragged_grid
         _run_both([FuguABR()], videos[:1], traces[:1], weights)
 
+    def test_mixed_ladder_widths_share_a_shard(self, ragged_grid):
+        """Videos on ladders of different widths step in one SoA shard
+        (the size/quality matrices are level-padded; candidate trees stay
+        grouped per ladder)."""
+        from repro.video.chunk import EncodingLadder
+
+        videos, traces, _ = ragged_grid
+        narrow = EncodingLadder(bitrates_kbps=(300.0, 1200.0, 2850.0))
+        source = SourceVideo.synthesize(
+            "lk-narrow", "gaming", duration_s=64.0, chunk_duration_s=4.0,
+            seed=29,
+        )
+        mixed = [videos[0], SyntheticEncoder(seed=31).encode(source, narrow)]
+        _run_both(
+            [BufferBasedABR(), FuguABR(), SenseiFuguABR()],
+            mixed, traces[:2],
+        )
+
     def test_seed_reference_planner_takes_generic_path(self, ragged_grid):
         """use_fast_planner=False still runs (per-session driver)."""
         videos, traces, _ = ragged_grid
@@ -184,6 +204,82 @@ class TestLockstepEquivalence:
         lockstep = BatchRunner(backend="lockstep").run_orders(orders)
         for left, right in zip(serial, lockstep):
             assert_results_identical(left, right)
+
+
+@st.composite
+def lockstep_scenarios(draw):
+    """Random session/scenario configurations for differential fuzzing.
+
+    Every component is derived from drawn seeds, so hypothesis shrinks a
+    failure to a minimal (videos, traces, ABRs, weights) combination and
+    prints it as the falsifying example — a directly re-runnable repro.
+    """
+    video_specs = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["sports", "nature", "gaming", "animation"]),
+                st.integers(6, 24),   # chunks
+                st.integers(0, 30),   # seed
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    videos = [
+        _encode(f"fz-{genre}-{index}-{seed}", genre, chunks * 4.0, seed)
+        for index, (genre, chunks, seed) in enumerate(video_specs)
+    ]
+    trace_seed = draw(st.integers(0, 50))
+    num_traces = draw(st.integers(1, 3))
+    scale = draw(st.floats(0.25, 1.5))
+    traces = [
+        trace.scaled(scale)
+        for trace in TraceBank(
+            num_traces=num_traces, duration_s=300.0, seed=trace_seed
+        ).traces()
+    ]
+    families = draw(
+        st.lists(
+            st.sampled_from(["bba", "rate", "mpc", "fugu", "sensei"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    abrs = [
+        {
+            "bba": BufferBasedABR,
+            "rate": RateBasedABR,
+            "mpc": ModelPredictiveABR,
+            "fugu": FuguABR,
+            "sensei": SenseiFuguABR,
+        }[family]()
+        for family in families
+    ]
+    weights = None
+    if draw(st.booleans()):
+        rng = np.random.default_rng(draw(st.integers(0, 1000)))
+        weights = {
+            video.source.video_id: rng.uniform(0.3, 3.0, video.num_chunks)
+            for video in videos
+        }
+    return videos, traces, abrs, weights
+
+
+class TestDifferentialFuzz:
+    """Randomized differential fuzzing: SoA lockstep == serial, bitwise.
+
+    Complements the fixed equivalence grid above with randomly drawn
+    session/scenario configurations; hypothesis shrinks any failure to a
+    minimal seeded repro and prints it, so a bit-identity regression
+    arrives as a small, re-runnable counterexample rather than a red grid.
+    """
+
+    @given(lockstep_scenarios())
+    @settings(max_examples=12, deadline=None)
+    def test_lockstep_bitwise_equals_serial(self, scenario):
+        videos, traces, abrs, weights = scenario
+        _run_both(abrs, videos, traces, weights)
 
 
 class TestProcessShardBackend:

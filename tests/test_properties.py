@@ -168,3 +168,138 @@ class TestSessionProperties:
         )
         if rate_mbps >= max_chunk_rate_mbps * 1.05:
             assert result.rendered.total_stall_s() == pytest.approx(0.0, abs=1e-6)
+
+
+# --------------------------------------------------------------------------
+# Engine regression properties (PR 5): the batched trace integrator must be
+# *bitwise* the scalar integrator, and SoA-stepped sessions must obey the
+# player's conservation invariants.  See docs/TESTING.md.
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def throughput_traces(draw):
+    """Traces of varied shapes: ragged spacings, spiky bandwidths, 1+ samples."""
+    num_samples = draw(st.integers(1, 40))
+    spacings = draw(
+        st.lists(
+            st.floats(0.05, 30.0, allow_nan=False, allow_infinity=False),
+            min_size=max(0, num_samples - 1),
+            max_size=max(0, num_samples - 1),
+        )
+    )
+    timestamps = np.concatenate([[0.0], np.cumsum(spacings)])
+    bandwidths = draw(
+        st.lists(
+            st.floats(0.001, 500.0, allow_nan=False, allow_infinity=False),
+            min_size=num_samples,
+            max_size=num_samples,
+        )
+    )
+    return ThroughputTrace(
+        timestamps_s=timestamps,
+        bandwidths_mbps=np.array(bandwidths),
+        name="prop-trace",
+    )
+
+
+class TestBatchedTraceIntegrator:
+    @given(
+        throughput_traces(),
+        st.lists(st.floats(1.0, 5e8), min_size=1, max_size=24),
+        st.lists(st.floats(0.0, 1e5), min_size=1, max_size=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_bitwise_equals_scalar(self, trace, sizes, starts):
+        """download_times_batch == per-call download_time_s, bit for bit."""
+        count = min(len(sizes), len(starts))
+        sizes_arr = np.asarray(sizes[:count])
+        starts_arr = np.asarray(starts[:count])
+        batch = trace.download_times_batch(sizes_arr, starts_arr)
+        for index in range(count):
+            scalar = trace.download_time_s(
+                float(sizes_arr[index]), float(starts_arr[index])
+            )
+            assert batch[index] == scalar, (
+                f"bitwise drift at index {index}: "
+                f"batch={batch[index]!r} scalar={scalar!r} "
+                f"(size={sizes_arr[index]!r}, start={starts_arr[index]!r})"
+            )
+
+    @given(throughput_traces(), st.floats(1.0, 5e8), st.floats(0.0, 1e5))
+    @settings(max_examples=40, deadline=None)
+    def test_download_time_positive_and_rate_bounded(self, trace, size, start):
+        """The integral is positive and never beats the fastest segment."""
+        elapsed = trace.download_time_s(size, start)
+        assert elapsed > 0
+        peak_rate = max(float(np.max(trace.bandwidths_mbps)), 0.01) * 1e6
+        assert elapsed >= size * 8.0 / peak_rate - 1e-6
+
+
+def _session_abrs():
+    """A varied ABR pool: map-based, rule-based, and both planner families."""
+    from repro.abr.bba import BufferBasedABR
+    from repro.abr.fugu import FuguABR
+    from repro.abr.rate import RateBasedABR
+    from repro.core.sensei_abr import SenseiFuguABR
+
+    return st.sampled_from(["bba", "rate", "fugu", "sensei"]).map(
+        {
+            "bba": BufferBasedABR,
+            "rate": RateBasedABR,
+            "fugu": FuguABR,
+            "sensei": SenseiFuguABR,
+        }.__getitem__
+    )
+
+
+@st.composite
+def streamed_sessions(draw):
+    """A finished streaming session over random video/trace/ABR/weights."""
+    encoded = draw(encoded_videos())
+    abr = draw(_session_abrs())()
+    if draw(st.booleans()):
+        trace = ThroughputTrace.constant(
+            draw(st.floats(0.2, 6.0)), duration_s=2000.0
+        )
+    else:
+        trace = draw(throughput_traces())
+    weights = None
+    if draw(st.booleans()):
+        rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+        weights = rng.uniform(0.3, 3.0, encoded.num_chunks)
+    return simulate_session(abr, encoded, trace, chunk_weights=weights)
+
+
+class TestPlayerConservationInvariants:
+    @given(streamed_sessions())
+    @settings(max_examples=25, deadline=None)
+    def test_buffer_never_negative(self, result):
+        """The buffer level observed around every download is >= 0."""
+        for record in result.timeline.downloads:
+            assert record.buffer_before_s >= 0.0
+            assert record.buffer_after_s >= 0.0
+
+    @given(streamed_sessions())
+    @settings(max_examples=25, deadline=None)
+    def test_stall_plus_play_time_sums_to_wall_time(self, result):
+        """startup + stalls + played media == session wall-clock time."""
+        rendered = result.rendered
+        media_s = rendered.num_chunks * rendered.chunk_duration_s
+        accounted = (
+            rendered.startup_delay_s + float(np.sum(rendered.stalls_s)) + media_s
+        )
+        assert result.session_duration_s == pytest.approx(accounted, abs=1e-6)
+
+    @given(streamed_sessions())
+    @settings(max_examples=25, deadline=None)
+    def test_timeline_stalls_match_rendered_stalls(self, result):
+        """The event log and the per-chunk stall vector tell one story."""
+        event_total = sum(
+            event.duration_s
+            for event in result.timeline.stalls
+            if event.cause != "startup"
+        )
+        assert float(np.sum(result.rendered.stalls_s)) == pytest.approx(
+            event_total, abs=1e-9
+        )
