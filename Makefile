@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast coverage regen-golden bench bench-training train figures list
+.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -10,6 +10,12 @@ test:
 ## Unit tests only, skipping process-pool-backed tests.
 test-fast:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+## Fault-injection suite (docs/ROBUSTNESS.md): deterministic chaos —
+## SIGKILLed workers, shard timeouts, corrupted artifacts — must recover
+## bit-identically or fail loudly with a quarantine record.
+chaos:
+	$(PYTHON) -m pytest tests/test_faults.py -v
 
 ## Fast suite with line coverage for the engine + player packages
 ## (requires pytest-cov; CI enforces the floor — see docs/TESTING.md).

@@ -168,6 +168,12 @@ def test_grid_speedup_vs_seed(context, bench_report):
         "misses": cache.misses,
         "currsize": cache.currsize,
     }
+    # Recovery accounting for the measured runners: all-zero on a healthy
+    # run; a bench number produced through retries/rebuilds is flagged so
+    # a regression hunt never chases wall-clock a crash recovery ate.
+    bench_report.fault_log = BatchRunner.merge_fault_logs(
+        runner, serial_runner
+    )
     print(
         f"\ngrid: serial engine {serial_engine_seconds:.2f}s -> lockstep "
         f"{engine_seconds:.2f}s ({speedup_vs_serial:.2f}x same-host, primary); "

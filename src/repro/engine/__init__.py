@@ -20,6 +20,12 @@ sweeps fast without changing their results:
 * :mod:`repro.engine.report` — the ``BENCH_engine.json`` reporter that
   tracks sessions/sec, decisions/sec and grid wall-clock across PRs.
 
+The process backend is crash-recovering: lost shards (worker death,
+timeout) are retried on a rebuilt pool with capped backoff and fall back
+to in-process execution when retries are exhausted, with every recovery
+counted in the runner's :class:`~repro.faults.log.FaultLog`
+(re-exported here as :class:`FaultLog`).  See ``docs/ROBUSTNESS.md``.
+
 See ``docs/PERFORMANCE.md`` for the architecture and how to run the perf
 benchmarks.
 """
@@ -30,12 +36,15 @@ from repro.engine.lockstep import run_orders_lockstep, supports_lockstep
 from repro.engine.precompute import HistoryRing, SessionPrecompute
 from repro.engine.report import BenchReport, write_bench_report
 from repro.engine.runner import BatchRunner, WorkOrder
+from repro.faults.log import FaultLog, ShardRecoveryWarning
 
 __all__ = [
     "BatchRunner",
     "BenchReport",
+    "FaultLog",
     "HistoryRing",
     "SessionPrecompute",
+    "ShardRecoveryWarning",
     "WorkOrder",
     "run_orders_lockstep",
     "supports_lockstep",

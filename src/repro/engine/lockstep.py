@@ -48,9 +48,17 @@ see :meth:`repro.ml.rl.ActorCriticAgent.reseed_exploration`).
 from __future__ import annotations
 
 import copy
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.faults.injector import (
+    SimulatedWorkerCrash,
+    active_injector,
+    execute_shard_fault,
+)
+from repro.faults.log import FaultLog, ShardRecoveryWarning
 
 from repro.abr.base import ABRAlgorithm
 from repro.abr.bba import BufferBasedABR
@@ -78,7 +86,10 @@ def supports_lockstep(abr: ABRAlgorithm) -> bool:
     return bool(getattr(abr, "greedy", True))
 
 
-def run_orders_lockstep(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
+def run_orders_lockstep(
+    orders: Sequence["WorkOrder"],
+    fault_log: Optional[FaultLog] = None,
+) -> List[StreamResult]:
     """Run work orders through the lockstep core; results align with input.
 
     Orders are grouped by (ABR instance, player config): each group is one
@@ -86,6 +97,17 @@ def run_orders_lockstep(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
     with ``abr.reset()``), so executing groups out of submission order
     cannot change any result; the returned list is reassembled in
     submission order regardless.
+
+    A shard that raises is *recovered*, not fatal: its orders are re-run
+    one session at a time through the serial reference path — the ground
+    truth lockstep is proven bit-identical to — under a loud
+    :class:`~repro.faults.log.ShardRecoveryWarning` (promoted to an error
+    in the test suite outside the chaos tests, so recovery can never mask
+    an engine regression there).  An active
+    :class:`~repro.faults.injector.FaultInjector` may inject shard faults
+    here (``kill_worker`` degrades to a raised
+    :class:`~repro.faults.injector.SimulatedWorkerCrash` in-process);
+    recoveries are counted in ``fault_log`` when the caller passes one.
     """
     orders = list(orders)
     results: List[Optional[StreamResult]] = [None] * len(orders)
@@ -95,8 +117,34 @@ def run_orders_lockstep(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
             results[index] = order.run()
             continue
         shards.setdefault(order.config, []).append(index)
-    for indices in shards.values():
-        shard_results = _run_shard([orders[index] for index in indices])
+    for shard_index, indices in enumerate(shards.values()):
+        shard_orders = [orders[index] for index in indices]
+        injector = active_injector()
+        fault = (
+            injector.take_shard_fault(shard_index)
+            if injector is not None else None
+        )
+        try:
+            if fault is not None:
+                execute_shard_fault(fault, in_worker=False)
+            shard_results = _run_shard(shard_orders)
+        except Exception as error:
+            warnings.warn(
+                f"lockstep: shard {shard_index} ({len(shard_orders)} "
+                f"orders) failed with {error!r}; re-running its orders "
+                "serially",
+                ShardRecoveryWarning,
+                stacklevel=2,
+            )
+            if fault_log is not None:
+                if isinstance(error, SimulatedWorkerCrash):
+                    fault_log.worker_crashes += 1
+                fault_log.serial_fallbacks += 1
+                fault_log.record(
+                    f"lockstep shard {shard_index} recovered serially "
+                    f"after {type(error).__name__}"
+                )
+            shard_results = [order.run() for order in shard_orders]
         for index, result in zip(indices, shard_results):
             results[index] = result
     return results

@@ -21,6 +21,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.faults.integrity import atomic_write_text
+
 #: Default report location (repo root).
 DEFAULT_REPORT_NAME = "BENCH_engine.json"
 
@@ -68,6 +70,12 @@ class BenchReport:
         Candidate-tree memo statistics (hits, misses, currsize) observed
         over the grid run — the shared-tree guarantee made visible: a
         handful of misses builds every tree a whole sweep plans over.
+    fault_log:
+        Recovery accounting from the measured runners
+        (:meth:`repro.faults.log.FaultLog.as_dict`): retries, pool
+        rebuilds, serial fallbacks, timeouts, quarantines and the
+        wall-clock they cost.  All-zero on a healthy run — a bench
+        number produced through recovery paths is flagged, not hidden.
     meta:
         Environment fingerprint (python, platform, CPU count).
     """
@@ -76,6 +84,7 @@ class BenchReport:
     decisions_per_sec: Dict[str, float] = field(default_factory=dict)
     grid: Dict[str, float] = field(default_factory=dict)
     plan_cache: Dict[str, int] = field(default_factory=dict)
+    fault_log: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -96,7 +105,7 @@ def write_bench_report(
     revision = git_revision()
     if revision is not None:
         payload["meta"].setdefault("git_revision", revision)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

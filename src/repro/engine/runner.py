@@ -28,6 +28,19 @@ with three interchangeable backends:
   in-process lockstep there; unpicklable work falls back to serial, so
   callers never need a fallback path of their own.
 
+The process backend is *crash-recovering*: a worker death
+(``BrokenProcessPool``), a simulated crash, or a shard exceeding
+``shard_timeout_s`` no longer aborts the whole grid.  Lost shards are
+re-dispatched on a rebuilt pool with capped exponential backoff, and a
+shard that keeps failing is re-run in-process (lockstep, bit-identical)
+instead of being given up on.  Recovery never changes results — shards
+are deterministic, so a retried shard reproduces its first attempt bit
+for bit (guarded by the golden masters, see ``docs/ROBUSTNESS.md``) —
+and every recovery is counted in the runner's
+:class:`~repro.faults.log.FaultLog` (``runner.fault_log``), which the
+experiment registry stamps into ``ResultSet`` metadata.  Deterministic
+chaos tests drive these paths through :mod:`repro.faults` fault plans.
+
 Result ordering always matches submission ordering, whichever backend ran.
 """
 
@@ -35,14 +48,24 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm
+from repro.faults.injector import (
+    ShardFault,
+    SimulatedWorkerCrash,
+    active_injector,
+    execute_shard_fault,
+)
+from repro.faults.log import FaultLog, ShardRecoveryWarning, merge_counter_dicts
 from repro.network.trace import ThroughputTrace
 from repro.player.session import SessionConfig, StreamingSession, StreamResult
 from repro.utils.validation import require
@@ -112,12 +135,18 @@ class _OrderShard:
     """
 
     orders: Tuple[WorkOrder, ...]
+    #: Injected fault directive, attached by the parent at dispatch time
+    #: (consumed from the active :class:`~repro.faults.injector.
+    #: FaultInjector`, so a retried shard runs clean).
+    fault: Optional[ShardFault] = None
 
 
 def _execute_shard(shard: _OrderShard) -> List[StreamResult]:
     """Run one shard through the lockstep core (module-level to pickle)."""
     from repro.engine.lockstep import run_orders_lockstep
 
+    if shard.fault is not None:
+        execute_shard_fault(shard.fault, in_worker=True)
     return run_orders_lockstep(shard.orders)
 
 
@@ -138,6 +167,19 @@ class BatchRunner:
         spawn once instead of per round).  Call :meth:`close` — or use the
         runner as a context manager — when done; a crashed pool is dropped
         and rebuilt on the next call.
+    max_shard_retries:
+        How many times a lost shard (worker crash, pool breakage, timeout)
+        is re-dispatched to the pool before the runner stops trusting
+        workers with it and runs it in-process instead (bit-identical
+        lockstep; counted as a ``serial_fallback`` in :attr:`fault_log`).
+    shard_timeout_s:
+        Wall-clock budget for one dispatch attempt of the process backend
+        (``None`` — the default — waits forever).  On expiry the attempt's
+        unfinished shards are abandoned, the pool is torn down (stuck
+        workers included) and rebuilt, and the lost shards are retried.
+    retry_backoff_s / retry_backoff_cap_s:
+        Capped exponential backoff between pool rebuilds:
+        ``min(cap, base * 2**rebuilds)`` seconds.
     """
 
     def __init__(
@@ -146,22 +188,56 @@ class BatchRunner:
         max_workers: Optional[int] = None,
         chunksize: int = 1,
         persistent: bool = False,
+        max_shard_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_cap_s: float = 2.0,
     ) -> None:
         require(backend in BACKENDS, f"backend must be one of {BACKENDS}")
         require(chunksize >= 1, "chunksize must be >= 1")
+        require(max_shard_retries >= 0, "max_shard_retries must be >= 0")
+        require(shard_timeout_s is None or shard_timeout_s > 0,
+                "shard_timeout_s must be positive (or None)")
+        require(retry_backoff_s >= 0, "retry_backoff_s must be >= 0")
         self.backend = backend
         self.max_workers = max_workers
         self.chunksize = int(chunksize)
         self.persistent = bool(persistent)
+        self.max_shard_retries = int(max_shard_retries)
+        self.shard_timeout_s = shard_timeout_s
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.retry_backoff_cap_s = float(retry_backoff_cap_s)
+        #: Cumulative recovery accounting for this runner's lifetime;
+        #: per-run deltas via ``fault_log.snapshot()`` / ``.since()``.
+        self.fault_log = FaultLog()
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @classmethod
-    def auto(cls, max_workers: Optional[int] = None) -> "BatchRunner":
-        """Process-pool runner on multi-core hosts, lockstep otherwise."""
+    def auto(cls, max_workers: Optional[int] = None, **knobs) -> "BatchRunner":
+        """Process-pool runner on multi-core hosts, lockstep otherwise.
+
+        Extra ``knobs`` (``max_shard_retries``, ``shard_timeout_s``, …)
+        pass straight through to the constructor either way.
+        """
         cores = os.cpu_count() or 1
         if cores > 1:
-            return cls(backend="process", max_workers=max_workers, chunksize=2)
-        return cls(backend="lockstep")
+            return cls(backend="process", max_workers=max_workers,
+                       chunksize=2, **knobs)
+        return cls(backend="lockstep", **knobs)
+
+    @staticmethod
+    def merge_fault_logs(*runners: "BatchRunner") -> Dict[str, object]:
+        """Merged fault-log dict across runners (what bench reports embed)."""
+        merged: Dict[str, object] = dict(
+            merge_counter_dicts(
+                *(runner.fault_log.counters() for runner in runners)
+            )
+        )
+        events: List[str] = []
+        for runner in runners:
+            events.extend(runner.fault_log.events)
+        merged["events"] = events
+        return merged
 
     # ------------------------------------------------------------------ API
 
@@ -173,7 +249,7 @@ class BatchRunner:
         if self.backend == "lockstep":
             from repro.engine.lockstep import run_orders_lockstep
 
-            return run_orders_lockstep(orders)
+            return run_orders_lockstep(orders, fault_log=self.fault_log)
         if self.backend == "process":
             return self._run_orders_process(orders)
         return self.map_ordered(_execute_order, orders)
@@ -194,6 +270,7 @@ class BatchRunner:
         if self.backend != "process" or len(items) == 1:
             return [fn(item) for item in items]
         if not self._picklable(fn, items[0]):
+            self.fault_log.pickle_failures += 1
             warnings.warn(
                 "BatchRunner: work items are not picklable; "
                 "falling back to the serial backend",
@@ -225,6 +302,7 @@ class BatchRunner:
             if not isinstance(error, pickle.PicklingError):
                 if all(self._picklable(fn, item) for item in items):
                     raise
+            self.fault_log.pickle_failures += 1
             warnings.warn(
                 f"BatchRunner: process backend failed ({error}); "
                 "rerunning serially",
@@ -237,10 +315,24 @@ class BatchRunner:
             raise
 
     def close(self) -> None:
-        """Shut down the persistent pool, if one is alive."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the persistent pool, if one is alive.
+
+        Idempotent — safe to call repeatedly and from ``finally`` blocks.
+        A shutdown that raises (a pool already broken by a dead worker can)
+        is logged and the pool dropped anyway, never silently swallowed.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            pool.shutdown()
+        except Exception as error:
+            warnings.warn(
+                f"BatchRunner.close: pool shutdown raised {error!r}; "
+                "the pool was dropped anyway",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -251,7 +343,7 @@ class BatchRunner:
     # ------------------------------------------------------------ internals
 
     def _run_orders_process(self, orders: List[WorkOrder]) -> List[StreamResult]:
-        """Chunked-shard dispatch with an in-process fallback heuristic."""
+        """Chunked-shard dispatch with recovery and an in-process fallback."""
         cores = os.cpu_count() or 1
         workers = self._effective_workers(len(orders))
         if cores <= 1 or workers <= 1 or len(orders) < MIN_PROCESS_ORDERS:
@@ -259,7 +351,7 @@ class BatchRunner:
             # and the fastest in-process path.
             from repro.engine.lockstep import run_orders_lockstep
 
-            return run_orders_lockstep(orders)
+            return run_orders_lockstep(orders, fault_log=self.fault_log)
         shard_count = min(len(orders), workers * SHARDS_PER_WORKER)
         bounds = np.linspace(0, len(orders), shard_count + 1).astype(int)
         shards = [
@@ -267,12 +359,248 @@ class BatchRunner:
             for start, stop in zip(bounds[:-1], bounds[1:])
             if stop > start
         ]
-        chunksize, self.chunksize = self.chunksize, 1
-        try:
-            nested = self.map_ordered(_execute_shard, shards)
-        finally:
-            self.chunksize = chunksize
+        nested = self._run_shards_with_recovery(shards, workers)
         return [result for shard_results in nested for result in shard_results]
+
+    # ------------------------------------------------- crash-recovering core
+
+    def _run_shards_with_recovery(
+        self, shards: List[_OrderShard], workers: int
+    ) -> List[List[StreamResult]]:
+        """Dispatch every shard, surviving worker deaths and timeouts.
+
+        Lost shards (crashed worker, broken pool, attempt timeout) are
+        re-dispatched — on a rebuilt pool when the old one died — with
+        capped exponential backoff between rebuilds; a shard lost more than
+        ``max_shard_retries`` times is re-run in-process instead.  Shards
+        are pure functions of their orders, so a retry is bit-identical to
+        the attempt that was lost; recovery changes *when* a shard runs,
+        never what it returns.  Exceptions raised by the workload itself
+        (an order with a genuine bug) are not retried: they propagate.
+        """
+        results: List[Optional[List[StreamResult]]] = [None] * len(shards)
+        pending = list(range(len(shards)))
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        rebuilds = 0
+        pool = self._ensure_pool() if self.persistent else (
+            ProcessPoolExecutor(max_workers=workers)
+        )
+        try:
+            while pending:
+                retriable = [
+                    index for index in pending
+                    if attempts[index] <= self.max_shard_retries
+                ]
+                for index in pending:
+                    if index not in set(retriable):
+                        results[index] = self._run_shard_in_process(
+                            shards[index], index,
+                            reason=f"lost {attempts[index]} pool attempts",
+                        )
+                if not retriable:
+                    break
+                started = time.monotonic()
+                lost, verdict = self._dispatch_attempt(
+                    pool, retriable, shards, results
+                )
+                if lost:
+                    self.fault_log.wall_clock_lost_s += (
+                        time.monotonic() - started
+                    )
+                    self.fault_log.retries += len(lost)
+                    for index in lost:
+                        attempts[index] += 1
+                    if verdict in ("broken", "timeout"):
+                        pool = self._rebuild_pool(pool, verdict, rebuilds)
+                        rebuilds += 1
+                pending = lost
+        finally:
+            if not self.persistent:
+                self._teardown_pool(pool, reason="dispatch finished")
+        return results
+
+    def _dispatch_attempt(
+        self,
+        pool: ProcessPoolExecutor,
+        indices: List[int],
+        shards: List[_OrderShard],
+        results: List[Optional[List[StreamResult]]],
+    ) -> Tuple[List[int], str]:
+        """One submit-and-collect round; returns (lost shard indices,
+        verdict) where the verdict says whether the pool must be rebuilt
+        (``"broken"``/``"timeout"``) or survived (``"ok"``)."""
+        injector = active_injector()
+        futures: Dict[object, int] = {}
+        unpicklable: List[int] = []
+        for index in indices:
+            shard = shards[index]
+            if injector is not None:
+                fault = injector.take_shard_fault(index)
+                if fault is not None:
+                    shard = _OrderShard(orders=shard.orders, fault=fault)
+            try:
+                if injector is not None:
+                    injector.on_pickle()
+                futures[pool.submit(_execute_shard, shard)] = index
+            except pickle.PicklingError as error:
+                self.fault_log.pickle_failures += 1
+                self.fault_log.record(f"shard {index} failed to pickle")
+                warnings.warn(
+                    f"BatchRunner: shard {index} failed to pickle "
+                    f"({error}); running it in-process",
+                    ShardRecoveryWarning,
+                    stacklevel=3,
+                )
+                unpicklable.append(index)
+        for index in unpicklable:
+            results[index] = self._run_shard_in_process(
+                shards[index], index, reason="unpicklable", count_fallback=False
+            )
+
+        lost: List[int] = []
+        verdict = "ok"
+        remaining = dict(futures)
+        try:
+            for future in as_completed(
+                list(futures), timeout=self.shard_timeout_s
+            ):
+                index = futures[future]
+                remaining.pop(future, None)
+                try:
+                    results[index] = future.result()
+                except SimulatedWorkerCrash as error:
+                    # The worker survived (the crash was raised, not a real
+                    # death), so the pool is still good: just retry.
+                    self.fault_log.worker_crashes += 1
+                    self.fault_log.record(f"shard {index} crashed: {error}")
+                    warnings.warn(
+                        f"BatchRunner: shard {index} crashed ({error}); "
+                        "retrying",
+                        ShardRecoveryWarning,
+                        stacklevel=3,
+                    )
+                    lost.append(index)
+                except BrokenProcessPool:
+                    # A worker died mid-shard.  Every other in-flight future
+                    # is doomed with it; mark them all lost and rebuild.
+                    verdict = "broken"
+                    self.fault_log.worker_crashes += 1
+                    self.fault_log.record(
+                        f"worker died running shard {index}; pool broken"
+                    )
+                    warnings.warn(
+                        f"BatchRunner: a worker died running shard {index}; "
+                        "rebuilding the pool and retrying lost shards",
+                        ShardRecoveryWarning,
+                        stacklevel=3,
+                    )
+                    lost.append(index)
+                    break
+                except pickle.PicklingError as error:
+                    # submit() pickles lazily, so an unpicklable shard can
+                    # surface here instead of at submission.
+                    self.fault_log.pickle_failures += 1
+                    self.fault_log.record(f"shard {index} failed to pickle")
+                    warnings.warn(
+                        f"BatchRunner: shard {index} failed to pickle "
+                        f"({error}); running it in-process",
+                        ShardRecoveryWarning,
+                        stacklevel=3,
+                    )
+                    results[index] = self._run_shard_in_process(
+                        shards[index], index, reason="unpicklable",
+                        count_fallback=False,
+                    )
+                # Any other exception is the workload's own and propagates:
+                # retrying a deterministic bug cannot fix it, and masking it
+                # would report a wrong grid as healthy.
+        except FuturesTimeout:
+            verdict = "timeout"
+            timed_out = sorted(remaining.values())
+            self.fault_log.timeouts += len(timed_out)
+            self.fault_log.record(
+                f"attempt timed out ({self.shard_timeout_s}s); "
+                f"lost shards {timed_out}"
+            )
+            warnings.warn(
+                f"BatchRunner: shards {timed_out} exceeded "
+                f"shard_timeout_s={self.shard_timeout_s}; abandoning the "
+                "attempt and retrying them on a fresh pool",
+                ShardRecoveryWarning,
+                stacklevel=3,
+            )
+            lost.extend(index for index in timed_out if index not in lost)
+            remaining = {}
+        if verdict == "broken":
+            lost.extend(
+                index for index in remaining.values() if index not in lost
+            )
+        return lost, verdict
+
+    def _run_shard_in_process(
+        self,
+        shard: _OrderShard,
+        index: int,
+        reason: str,
+        count_fallback: bool = True,
+    ) -> List[StreamResult]:
+        """Last-resort execution of one shard in the parent process.
+
+        Runs the shard through the in-process lockstep core — bit-identical
+        to what a worker would have returned — so repeated pool failures
+        degrade throughput, never correctness.
+        """
+        from repro.engine.lockstep import run_orders_lockstep
+
+        if count_fallback:
+            self.fault_log.serial_fallbacks += 1
+            self.fault_log.record(
+                f"shard {index} fell back in-process: {reason}"
+            )
+            warnings.warn(
+                f"BatchRunner: shard {index} ({len(shard.orders)} orders) "
+                f"fell back to in-process execution: {reason}",
+                ShardRecoveryWarning,
+                stacklevel=3,
+            )
+        return run_orders_lockstep(shard.orders, fault_log=self.fault_log)
+
+    def _rebuild_pool(
+        self, pool: ProcessPoolExecutor, reason: str, rebuilds: int
+    ) -> ProcessPoolExecutor:
+        """Tear the dead/stuck pool down and stand up a fresh one, with
+        capped exponential backoff (``min(cap, base * 2**rebuilds)``)."""
+        self._teardown_pool(pool, reason=reason)
+        self.fault_log.pool_rebuilds += 1
+        delay = min(
+            self.retry_backoff_cap_s, self.retry_backoff_s * (2 ** rebuilds)
+        )
+        if delay > 0:
+            time.sleep(delay)
+        if self.persistent:
+            return self._ensure_pool()
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers or os.cpu_count() or 1
+        )
+
+    def _teardown_pool(self, pool: ProcessPoolExecutor, reason: str) -> None:
+        """Shut a pool down without waiting on (possibly stuck) workers.
+
+        A teardown that raises is logged — never silently swallowed — and
+        the pool reference is dropped regardless, so the next attempt gets
+        a clean pool.
+        """
+        if pool is self._pool:
+            self._pool = None
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception as error:
+            warnings.warn(
+                f"BatchRunner: pool teardown ({reason}) raised {error!r}; "
+                "the pool was dropped anyway",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _effective_workers(self, num_items: int) -> int:
         workers = self.max_workers or os.cpu_count() or 1

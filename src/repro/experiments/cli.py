@@ -18,6 +18,17 @@ Subcommands
 ``train``
     The RL training pipeline: curricula → checkpoints → checkpoint-backed
     ABR grid (see :mod:`repro.training.pipeline`).
+``quarantine``
+    List integrity-quarantine records: every file an
+    :class:`~repro.experiments.results.ArtifactStore` or
+    :class:`~repro.training.checkpoint.CheckpointStore` moved aside after
+    a failed verification, with the recorded reason.
+
+``run`` and ``train`` accept fault-tolerance knobs (``--shard-timeout``,
+``--max-shard-retries``).  These are execution policy, not experiment
+identity — they configure the :class:`~repro.engine.runner.BatchRunner`
+passed *alongside* the spec, so they never perturb spec hashes or cached
+artifacts (the same discipline as ``--backend``/``--workers``).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from typing import Dict, List, Optional
 from repro.experiments.registry import get_experiment, registry, run
 from repro.experiments.results import ArtifactStore
 from repro.experiments.spec import ExperimentSpec, scale_names
+from repro.faults.integrity import QUARANTINE_DIR, quarantine_records
 
 #: Default artifact-store location, relative to the working directory.
 DEFAULT_RESULTS_ROOT = "results"
@@ -103,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="experiment parameter override (JSON values)")
     run_cmd.add_argument("--json", action="store_true",
                          help="print each result's full data as JSON")
+    _add_fault_knobs(run_cmd)
 
     report_cmd = sub.add_parser("report", help="inspect stored artifacts")
     report_cmd.add_argument("target", nargs="?", default=None,
@@ -128,7 +141,43 @@ def _build_parser() -> argparse.ArgumentParser:
     train_cmd.add_argument("--episodes-per-round", type=int, default=None)
     train_cmd.add_argument("--json", action="store_true",
                            help="print the training summary as JSON")
+    _add_fault_knobs(train_cmd)
+
+    quarantine_cmd = sub.add_parser(
+        "quarantine", help="list files quarantined by integrity checks"
+    )
+    quarantine_cmd.add_argument("--results", default=DEFAULT_RESULTS_ROOT,
+                                help="artifact-store root to inspect")
+    quarantine_cmd.add_argument("--checkpoints", default="checkpoints",
+                                metavar="DIR",
+                                help="CheckpointStore root to inspect")
+    quarantine_cmd.add_argument("--json", action="store_true",
+                                help="machine-readable output")
     return parser
+
+
+def _add_fault_knobs(command: argparse.ArgumentParser) -> None:
+    """Fault-tolerance runner knobs shared by ``run`` and ``train``.
+
+    Execution policy only: they shape the runner, never the spec hash.
+    """
+    command.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="S",
+                         help="abandon + retry a process-backend shard "
+                              "attempt after S seconds")
+    command.add_argument("--max-shard-retries", type=int, default=None,
+                         metavar="N",
+                         help="re-dispatch a lost shard up to N times "
+                              "before running it serially in-process")
+
+
+def _fault_knobs(args) -> Dict[str, object]:
+    knobs: Dict[str, object] = {}
+    if args.shard_timeout is not None:
+        knobs["shard_timeout_s"] = args.shard_timeout
+    if args.max_shard_retries is not None:
+        knobs["max_shard_retries"] = args.max_shard_retries
+    return knobs
 
 
 # ----------------------------------------------------------------- commands
@@ -176,40 +225,67 @@ def _print_scalars(data: Dict[str, object], indent: str = "  ") -> None:
             print(f"{indent}{key} = {value}")
 
 
+def _print_fault_summary(fault_log, indent: str = "  ") -> None:
+    """One line naming the recoveries a run needed (silence = healthy)."""
+    if not isinstance(fault_log, dict):
+        return
+    nonzero = {
+        key: value
+        for key, value in fault_log.items()
+        if key != "events" and value
+    }
+    if nonzero:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(nonzero.items()))
+        print(f"{indent}faults recovered: {rendered}")
+
+
 def _cmd_run(args) -> int:
+    from repro.experiments.registry import _runner_for
+
     store = None if args.no_save else ArtifactStore(args.results)
     for name in args.experiments:
         get_experiment(name)  # fail fast on typos before running anything
-    for name in args.experiments:
-        spec = ExperimentSpec(
-            experiment=name,
-            scale=args.scale,
-            seed=args.seed,
-            backend=args.backend,
-            max_workers=args.workers,
-            include_pensieve=args.include_pensieve,
-            checkpoint_root=args.checkpoints,
-            params=dict(args.overrides),
-        )
-        result = run(spec, store=store, force=args.force)
-        status = "cached" if result.cache_hit else "computed"
-        wall = result.meta.get("wall_time_s")
-        wall_text = (
-            f" in {wall:.2f}s"
-            if isinstance(wall, float) and not result.cache_hit
-            else ""
-        )
-        # result.spec, not the local spec: run() normalises the spec and
-        # stamps the checkpoint fingerprint, so only the result's spec
-        # names the hash/path the artifact actually lives under.
-        print(f"\n== {name} [{result.spec_hash}] "
-              f"scale={args.scale} seed={args.seed} — {status}{wall_text}")
-        if args.json:
-            print(json.dumps(result.data, indent=2, sort_keys=True))
-        else:
-            _print_scalars(result.data)
-        if store is not None and get_experiment(name).cacheable:
-            print(f"  artifact: {store.path_for(result.spec)}")
+    # Fault knobs configure the runner, not the spec: spec hashes (and
+    # therefore cache hits) are identical with and without them.
+    knobs = _fault_knobs(args)
+    runner = None
+    try:
+        for name in args.experiments:
+            spec = ExperimentSpec(
+                experiment=name,
+                scale=args.scale,
+                seed=args.seed,
+                backend=args.backend,
+                max_workers=args.workers,
+                include_pensieve=args.include_pensieve,
+                checkpoint_root=args.checkpoints,
+                params=dict(args.overrides),
+            )
+            if knobs and runner is None:
+                runner = _runner_for(spec, **knobs)
+            result = run(spec, store=store, force=args.force, runner=runner)
+            status = "cached" if result.cache_hit else "computed"
+            wall = result.meta.get("wall_time_s")
+            wall_text = (
+                f" in {wall:.2f}s"
+                if isinstance(wall, float) and not result.cache_hit
+                else ""
+            )
+            # result.spec, not the local spec: run() normalises the spec and
+            # stamps the checkpoint fingerprint, so only the result's spec
+            # names the hash/path the artifact actually lives under.
+            print(f"\n== {name} [{result.spec_hash}] "
+                  f"scale={args.scale} seed={args.seed} — {status}{wall_text}")
+            if args.json:
+                print(json.dumps(result.data, indent=2, sort_keys=True))
+            else:
+                _print_scalars(result.data)
+            _print_fault_summary(result.meta.get("fault_log"))
+            if store is not None and get_experiment(name).cacheable:
+                print(f"  artifact: {store.path_for(result.spec)}")
+    finally:
+        if runner is not None:
+            runner.close()
     return 0
 
 
@@ -259,10 +335,12 @@ def _cmd_train(args) -> int:
     from repro.experiments.spec import resolve_scale
     from repro.training.pipeline import DEFAULT_TRAINING, train_policies
 
+    knobs = _fault_knobs(args)
     if args.backend == "auto":
-        runner = BatchRunner.auto(max_workers=args.workers)
+        runner = BatchRunner.auto(max_workers=args.workers, **knobs)
     else:
-        runner = BatchRunner(backend=args.backend, max_workers=args.workers)
+        runner = BatchRunner(backend=args.backend, max_workers=args.workers,
+                             **knobs)
     config = DEFAULT_TRAINING
     if args.rounds is not None or args.episodes_per_round is not None:
         from dataclasses import replace
@@ -273,16 +351,48 @@ def _cmd_train(args) -> int:
         if args.episodes_per_round is not None:
             changes["episodes_per_round"] = args.episodes_per_round
         config = replace(config, **changes)
-    summary = train_policies(
-        scale=resolve_scale(args.scale),
-        seed=args.seed,
-        checkpoint_root=args.checkpoints,
-        runner=runner,
-        config=config,
-        verbose=not args.json,
-    )
+    try:
+        summary = train_policies(
+            scale=resolve_scale(args.scale),
+            seed=args.seed,
+            checkpoint_root=args.checkpoints,
+            runner=runner,
+            config=config,
+            verbose=not args.json,
+        )
+    finally:
+        runner.close()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        _print_fault_summary(summary.get("fault_log"), indent="")
+    return 0
+
+
+def _cmd_quarantine(args) -> int:
+    from pathlib import Path
+
+    roots = {
+        "results": Path(args.results) / QUARANTINE_DIR,
+        "checkpoints": Path(args.checkpoints) / QUARANTINE_DIR,
+    }
+    records = []
+    for store, root in roots.items():
+        for record in quarantine_records(root):
+            records.append({"store": store, **record})
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no quarantined files under "
+              + " or ".join(str(root) for root in roots.values()))
+        return 0
+    for record in records:
+        print(f"[{record['store']}] {record.get('quarantined_as', '?')}")
+        print(f"  was: {record.get('original_path', '?')}")
+        print(f"  why: {record.get('reason', '?')}")
+    print(f"\n{len(records)} quarantined file(s); each was replaced by a "
+          f"recompute or a loud failure — never silently served")
     return 0
 
 
@@ -294,6 +404,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "report": _cmd_report,
         "train": _cmd_train,
+        "quarantine": _cmd_quarantine,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,7 @@ from repro.engine.runner import BatchRunner
 from repro.experiments.common import ExperimentContext, checkpoint_fingerprint
 from repro.experiments.results import ArtifactStore, ResultSet, RESULTSET_FORMAT_VERSION
 from repro.experiments.spec import ExperimentSpec
+from repro.faults.log import merge_counter_dicts
 from repro.utils.validation import require
 
 #: Modules whose import populates the registry (figure functions register
@@ -139,10 +140,15 @@ def registry() -> List[ExperimentDef]:
 
 # ------------------------------------------------------------------ execution
 
-def _runner_for(spec: ExperimentSpec) -> BatchRunner:
+def _runner_for(spec: ExperimentSpec, **knobs) -> BatchRunner:
+    """The runner a spec implies; ``knobs`` are fault-tolerance overrides
+    (``shard_timeout_s``, ``max_shard_retries``) that stay out of the spec
+    — execution policy must never perturb a spec hash."""
     if spec.backend == "auto":
-        return BatchRunner.auto(max_workers=spec.max_workers)
-    return BatchRunner(backend=spec.backend, max_workers=spec.max_workers)
+        return BatchRunner.auto(max_workers=spec.max_workers, **knobs)
+    return BatchRunner(
+        backend=spec.backend, max_workers=spec.max_workers, **knobs
+    )
 
 
 def context_for(spec: ExperimentSpec, runner: Optional[BatchRunner] = None) -> ExperimentContext:
@@ -261,6 +267,14 @@ def run(
         # --force recomputes every cell but still repairs the cache.
         context.cell_cache = store.cell_cache(spec, read=not force)
 
+    # Runner and store fault logs may be shared across runs (persistent
+    # runner, long-lived store), so stamp this run's *delta*, not the
+    # lifetime totals.
+    runner_faults_before = context.runner.fault_log.snapshot()
+    store_faults_before = (
+        store.fault_log.snapshot() if store is not None else None
+    )
+
     started = time.perf_counter()
     data = defn.fn(context, **params)
     wall_time_s = time.perf_counter() - started
@@ -269,6 +283,9 @@ def run(
         f"experiment {defn.name!r} must return a dict, got {type(data).__name__}",
     )
 
+    fault_deltas = [context.runner.fault_log.since(runner_faults_before)]
+    if store is not None:
+        fault_deltas.append(store.fault_log.since(store_faults_before))
     result = ResultSet(
         experiment=defn.name,
         spec=spec,
@@ -283,6 +300,7 @@ def run(
             "git_revision": git_revision(),
             "environment": environment_fingerprint(),
             "trained_agent_sources": dict(context.trained_agent_sources),
+            "fault_log": merge_counter_dicts(*fault_deltas),
         },
     )
     if store is not None and defn.cacheable:

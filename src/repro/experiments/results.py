@@ -18,18 +18,36 @@ grid resumes from its finished (algorithm, video, trace) cells via
 :class:`CellCache` instead of recomputing them.  Cells are keyed by
 :meth:`~repro.experiments.spec.ExperimentSpec.context_hash`, which means
 figures that sweep the same grid (12a/13/14/headline…) share cells.
+
+Every write is crash-consistent and every read is verified
+(:mod:`repro.faults.integrity`): payloads land atomically
+(write-tmp-then-rename) with an embedded content checksum, and a file
+that fails verification on load — torn by a crash or rotted by a flaky
+disk — is moved to ``<root>/quarantine/`` with a reason record and
+recomputed, never silently trusted and never silently dropped.
+Quarantines are counted in the store's
+:class:`~repro.faults.log.FaultLog` (``store.fault_log``).
 """
 
 from __future__ import annotations
 
 import csv
 import hashlib
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.spec import ExperimentSpec
+from repro.faults.integrity import (
+    QUARANTINE_DIR,
+    atomic_write_text,
+    attach_checksum,
+    quarantine_file,
+    verify_checksum,
+)
+from repro.faults.log import FaultLog
 from repro.utils.validation import require
 
 #: Bump when the on-disk layout changes incompatibly; loaders refuse newer
@@ -131,10 +149,22 @@ class CellCache:
         directory: Union[str, Path, None],
         read: bool = True,
         write: bool = True,
+        quarantine_root: Union[str, Path, None] = None,
+        fault_log: Optional[FaultLog] = None,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.read = bool(read)
         self.write = bool(write)
+        self.quarantine_root = (
+            Path(quarantine_root)
+            if quarantine_root is not None
+            else (
+                self.directory / QUARANTINE_DIR
+                if self.directory is not None
+                else None
+            )
+        )
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.hits = 0
         self.misses = 0
 
@@ -143,18 +173,32 @@ class CellCache:
         return self.directory / f"{digest}.json"
 
     def get(self, key: str) -> Optional[object]:
-        """The cached value for ``key``, or ``None``."""
+        """The cached value for ``key``, or ``None``.
+
+        A cell that fails to parse or fails its checksum — truncated by a
+        crash mid-write (pre-atomic-write caches) or corrupted by a flaky
+        disk — is *quarantined with a warning* and reported as a miss, so
+        the sweep recomputes it: resume can never be poisoned silently,
+        and the evidence is preserved under ``quarantine/``.
+        """
         if self.directory is None or not self.read:
             return None
         path = self._path(key)
         if not path.exists():
             self.misses += 1
             return None
+        reason = None
+        payload = None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            # A cell truncated by a crash mid-write is a miss, not an
-            # error: resuming interrupted grids is the cache's whole job.
+        except (OSError, json.JSONDecodeError) as error:
+            reason = f"unreadable cell: {type(error).__name__}: {error}"
+        if payload is not None and not verify_checksum(payload):
+            reason = "cell checksum mismatch"
+        if reason is not None:
+            quarantine_file(
+                path, self.quarantine_root, reason, fault_log=self.fault_log
+            )
             self.misses += 1
             return None
         if payload.get("key") != key:  # hash-prefix collision: treat as miss
@@ -164,17 +208,16 @@ class CellCache:
         return payload["value"]
 
     def put(self, key: str, value: object) -> None:
-        """Persist one finished cell (atomically: write-then-rename, so a
-        kill mid-write never leaves a truncated cell behind)."""
+        """Persist one finished cell (atomically — write-then-rename, so a
+        kill mid-write never leaves a truncated cell behind — with an
+        embedded checksum so later corruption cannot pass as the value)."""
         if self.directory is None or not self.write:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        scratch = path.with_suffix(".tmp")
-        scratch.write_text(
-            json.dumps({"key": key, "value": value}, sort_keys=True)
+        payload = attach_checksum({"key": key, "value": value})
+        atomic_write_text(
+            self._path(key), json.dumps(payload, sort_keys=True)
         )
-        scratch.replace(path)
 
 
 def _safe_name(name: str) -> str:
@@ -182,10 +225,20 @@ def _safe_name(name: str) -> str:
 
 
 class ArtifactStore:
-    """Content-addressed, versioned store of :class:`ResultSet`s."""
+    """Content-addressed, versioned store of :class:`ResultSet`s.
+
+    All writes are atomic and checksummed; all reads verify.  A corrupt
+    ``result.json`` is quarantined under ``<root>/quarantine/`` (reason
+    record included, counted in :attr:`fault_log`) and treated as absent,
+    so the registry recomputes it instead of crashing on it — or worse,
+    serving it.
+    """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        #: Integrity accounting (quarantines) for this store's lifetime;
+        #: shared with every :class:`CellCache` it hands out.
+        self.fault_log = FaultLog()
 
     # ----------------------------------------------------------------- paths
 
@@ -193,21 +246,59 @@ class ArtifactStore:
         """Directory one spec's artifacts live in."""
         return self.root / _safe_name(spec.experiment) / spec.spec_hash()
 
+    @property
+    def quarantine_root(self) -> Path:
+        """Where this store collects corrupt files (and reason records)."""
+        return self.root / QUARANTINE_DIR
+
     def cell_cache(
         self, spec: ExperimentSpec, read: bool = True
     ) -> CellCache:
         """The finished-cell cache shared by every spec with this spec's
         :meth:`~repro.experiments.spec.ExperimentSpec.context_hash`."""
-        return CellCache(self.root / "cells" / spec.context_hash(), read=read)
+        return CellCache(
+            self.root / "cells" / spec.context_hash(),
+            read=read,
+            quarantine_root=self.quarantine_root,
+            fault_log=self.fault_log,
+        )
 
     # ------------------------------------------------------------------ load
 
+    def _read_payload(self, path: Path) -> Optional[Dict[str, object]]:
+        """Parse + verify one ``result.json``; quarantine and return
+        ``None`` when it fails either check."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            quarantine_file(
+                path,
+                self.quarantine_root,
+                f"unreadable artifact: {type(error).__name__}: {error}",
+                fault_log=self.fault_log,
+            )
+            return None
+        if not verify_checksum(payload):
+            quarantine_file(
+                path,
+                self.quarantine_root,
+                "artifact checksum mismatch",
+                fault_log=self.fault_log,
+            )
+            return None
+        return payload
+
     def load(self, spec: ExperimentSpec) -> Optional[ResultSet]:
-        """The stored result set for ``spec``, or ``None`` when absent."""
+        """The stored result set for ``spec``, or ``None`` when absent
+        (a corrupt artifact is quarantined and reported absent, so the
+        caller recomputes it)."""
         path = self.path_for(spec) / _RESULT_FILE
         if not path.exists():
             return None
-        result = ResultSet.from_payload(json.loads(path.read_text()))
+        payload = self._read_payload(path)
+        if payload is None:
+            return None
+        result = ResultSet.from_payload(payload)
         require(
             result.spec_hash == spec.spec_hash(),
             f"artifact at {path} does not match spec hash {spec.spec_hash()}",
@@ -218,11 +309,19 @@ class ArtifactStore:
     # ------------------------------------------------------------------ save
 
     def save(self, result: ResultSet) -> Path:
-        """Persist ``result.json`` + ``result.csv``; returns the directory."""
+        """Persist ``result.json`` + ``result.csv``; returns the directory.
+
+        Both files are written atomically (write-tmp-then-rename), and the
+        JSON payload embeds a content checksum, so a crash mid-save leaves
+        either the previous artifact or the new one — never a truncated
+        file ``entries()``/``find()`` would then choke on.
+        """
         directory = self.path_for(result.spec)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / _RESULT_FILE).write_text(
-            json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"
+        payload = attach_checksum(result.to_payload())
+        atomic_write_text(
+            directory / _RESULT_FILE,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
         rows = result.summary_rows()
         if rows:
@@ -231,21 +330,28 @@ class ArtifactStore:
                 for key in row:
                     if key not in columns:
                         columns.append(key)
-            with (directory / _CSV_FILE).open("w", newline="") as handle:
-                writer = csv.DictWriter(handle, fieldnames=columns)
-                writer.writeheader()
-                writer.writerows(rows)
+            buffer = io.StringIO()
+            writer = csv.DictWriter(buffer, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+            atomic_write_text(directory / _CSV_FILE, buffer.getvalue())
         return directory
 
     # ----------------------------------------------------------------- query
 
     def entries(self) -> List[Dict[str, object]]:
-        """Summaries of every stored result set (for ``repro report``)."""
+        """Summaries of every stored result set (for ``repro report``).
+
+        Corrupt artifacts are quarantined and skipped — one torn file no
+        longer takes the whole report down with it.
+        """
         found: List[Dict[str, object]] = []
         if not self.root.exists():
             return found
         for path in sorted(self.root.glob(f"*/*/{_RESULT_FILE}")):
-            payload = json.loads(path.read_text())
+            payload = self._read_payload(path)
+            if payload is None:
+                continue
             meta = payload.get("meta", {})
             found.append(
                 {
@@ -263,7 +369,8 @@ class ArtifactStore:
     def find(self, token: str) -> Optional[ResultSet]:
         """Look an artifact up by experiment name or spec-hash prefix.
 
-        Names resolve to the most recently written matching artifact.
+        Names resolve to the most recently written matching artifact;
+        corrupt candidates are quarantined and skipped.
         """
         matches = [
             path
@@ -271,7 +378,9 @@ class ArtifactStore:
             if path.parent.name.startswith(token)
             or path.parent.parent.name == _safe_name(token)
         ]
-        if not matches:
-            return None
-        latest = max(matches, key=lambda path: path.stat().st_mtime)
-        return ResultSet.from_payload(json.loads(latest.read_text()))
+        for path in sorted(matches, key=lambda p: p.stat().st_mtime,
+                           reverse=True):
+            payload = self._read_payload(path)
+            if payload is not None:
+                return ResultSet.from_payload(payload)
+        return None

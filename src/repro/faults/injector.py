@@ -1,0 +1,189 @@
+"""The fault injector: hooks the execution layer consults, parent-side.
+
+Activation is a context manager::
+
+    with inject(FaultPlan.random(seed=7)) as injector:
+        results = runner.run_orders(orders)
+    assert injector.fired  # what actually struck
+
+Hook points (all no-ops when no injector is active):
+
+* the runner and the lockstep core call :func:`take_shard_fault` as they
+  dispatch each shard — a matching shard fault is *consumed* and attached
+  to that dispatch only, so a retried shard runs clean (which is exactly
+  the transient-fault model recovery is built for);
+* the runner calls :func:`on_pickle` before pickling each shard —
+  a matching ``broken_pickle`` fault raises :class:`pickle.PicklingError`;
+* :func:`repro.faults.integrity.atomic_write_bytes` calls
+  :func:`corrupt_bytes` — a matching ``corrupt_artifact`` fault truncates
+  or bit-flips the payload before it hits disk.
+
+The active injector is guarded by the activating process id: pool workers
+forked while a plan is active inherit the module global but must *not*
+consult it (they would re-fire faults against worker-local shard indices),
+so :func:`active_injector` answers ``None`` anywhere but the activating
+process.  Faults reach workers as plain data instead — a
+:class:`ShardFault` attached to the dispatched shard, executed by
+:func:`execute_shard_fault` inside the worker (``kill_worker`` really
+SIGKILLs the worker process, producing a genuine ``BrokenProcessPool`` in
+the parent).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.faults.plan import FaultPlan, SHARD_FAULT_KINDS
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """An injected crash standing in for a worker death or workload bug.
+
+    Raised inside a pool worker it surfaces as the shard future's
+    exception; raised in-process (the ``kill_worker`` translation where a
+    real SIGKILL would take down the parent) it exercises the same
+    recovery path.
+    """
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """The picklable directive a dispatched shard carries to its executor."""
+
+    kind: str
+    delay_s: float = 0.0
+
+
+def execute_shard_fault(fault: ShardFault, in_worker: bool) -> None:
+    """Carry out a shard fault at its execution site.
+
+    ``kill_worker`` SIGKILLs the current process when running inside a
+    pool worker — the parent then observes a real ``BrokenProcessPool`` —
+    and degrades to :class:`SimulatedWorkerCrash` in-process, where a real
+    kill would destroy the run we are trying to test.
+    """
+    if fault.kind == "delay_shard":
+        time.sleep(fault.delay_s)
+        return
+    if fault.kind == "kill_worker" and in_worker:
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise SimulatedWorkerCrash(f"injected fault: {fault.kind}")
+
+
+class FaultInjector:
+    """Consumes a :class:`FaultPlan`'s faults as the run reaches them."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._remaining: List[int] = [spec.times for spec in plan.faults]
+        self._pickle_count = 0
+        self._pid = os.getpid()
+        #: Human-readable record of every fault that actually struck.
+        self.fired: List[str] = []
+
+    # --------------------------------------------------------------- queries
+
+    def exhausted(self) -> bool:
+        """Whether every planned fault has fired its full ``times``."""
+        return not any(self._remaining)
+
+    def _take(self, spec_index: int, note: str) -> None:
+        self._remaining[spec_index] -= 1
+        self.fired.append(note)
+
+    # ----------------------------------------------------------------- hooks
+
+    def take_shard_fault(self, shard_index: int) -> Optional[ShardFault]:
+        """Consume a shard fault aimed at ``shard_index``, if one is live."""
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind in SHARD_FAULT_KINDS
+                and self._remaining[i] > 0
+                and (spec.shard is None or spec.shard == shard_index)
+            ):
+                self._take(i, f"{spec.kind}@shard{shard_index}")
+                return ShardFault(kind=spec.kind, delay_s=spec.delay_s)
+        return None
+
+    def on_pickle(self) -> None:
+        """Count one dispatch pickle; raise if a ``broken_pickle`` is due."""
+        self._pickle_count += 1
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind == "broken_pickle"
+                and self._remaining[i] > 0
+                and self._pickle_count >= spec.at_pickle
+            ):
+                self._take(i, f"broken_pickle@{self._pickle_count}")
+                raise pickle.PicklingError(
+                    f"injected fault: pickle #{self._pickle_count} refused"
+                )
+
+    def corrupt_bytes(self, path: Union[str, Path], data: bytes) -> bytes:
+        """Apply a matching ``corrupt_artifact`` fault to a pending write."""
+        name = Path(path).name
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind == "corrupt_artifact"
+                and self._remaining[i] > 0
+                and fnmatch(name, spec.path_glob)
+            ):
+                self._take(i, f"corrupt_artifact[{spec.mode}]@{name}")
+                if spec.mode == "truncate":
+                    return data[: len(data) // 2]
+                flipped = bytearray(data)
+                if flipped:
+                    # Flip one low bit mid-payload: deterministic, and for
+                    # text formats usually still parseable — the silent
+                    # corruption only a checksum catches.
+                    flipped[len(flipped) // 2] ^= 0x01
+                return bytes(flipped)
+        return data
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The injector active *in this process*, or ``None``.
+
+    Forked pool workers inherit the module global; the pid guard keeps
+    fault consumption strictly parent-side (see module docstring).
+    """
+    if _ACTIVE is not None and _ACTIVE._pid == os.getpid():
+        return _ACTIVE
+    return None
+
+
+@contextmanager
+def inject(
+    plan: Union[FaultPlan, FaultInjector]
+) -> Iterator[FaultInjector]:
+    """Activate a fault plan for the duration of the ``with`` block."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE._pid == os.getpid():
+        raise RuntimeError("a FaultPlan is already active in this process")
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = None
+
+
+__all__ = [
+    "FaultInjector",
+    "ShardFault",
+    "SimulatedWorkerCrash",
+    "active_injector",
+    "execute_shard_fault",
+    "inject",
+]

@@ -1,0 +1,177 @@
+"""Crash-consistent persistence: atomic writes, checksums, quarantine.
+
+Every persistent structure in the repo follows the same write-then-commit
+discipline (the log-structured-RAID idea scaled down to flat files):
+
+* **atomic writes** — payloads land in a ``<name>.tmp`` sibling first and
+  are published with ``os.replace``, so a crash mid-write can never leave
+  a half-written ``result.json``/``state.npz``/cell behind the final name;
+* **content checksums** — JSON payloads embed a ``checksum`` over their
+  canonical form (:func:`attach_checksum` / :func:`verify_checksum`),
+  binary files get their digest recorded next to them, and loaders verify
+  before trusting — so even corruption that still parses (a flipped bit
+  in a number) is caught;
+* **quarantine, not silence** — a file that fails verification is moved to
+  the store's ``quarantine/`` directory with a JSON reason record
+  (:func:`quarantine_file`) and an :class:`IntegrityWarning` is emitted;
+  the caller then recomputes (cells, artifacts) or fails loudly
+  (checkpoints).  A flaky disk can therefore never silently poison a
+  resumed run.
+
+The write path is also the fault-injection point: an active
+:class:`~repro.faults.injector.FaultInjector` may truncate or bit-flip the
+payload on its way to disk (``corrupt_artifact`` faults), which is how the
+chaos suite proves the verify-quarantine-recompute loop actually closes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.faults.injector import active_injector
+from repro.faults.log import FaultLog, IntegrityWarning
+
+#: Key under which JSON payloads embed their own digest.
+CHECKSUM_KEY = "checksum"
+
+#: Directory name quarantined files are collected under, per store root.
+QUARANTINE_DIR = "quarantine"
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex digest used by every integrity check in the repo."""
+    return hashlib.sha256(data).hexdigest()
+
+
+# ----------------------------------------------------------- JSON checksums
+
+def payload_checksum(payload: Dict[str, object]) -> str:
+    """Digest of a JSON payload's canonical form, ``checksum`` excluded."""
+    trimmed = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(trimmed, sort_keys=True)
+    return f"sha256:{sha256_hex(canonical.encode())}"
+
+
+def attach_checksum(payload: Dict[str, object]) -> Dict[str, object]:
+    """A copy of ``payload`` with its own ``checksum`` embedded."""
+    stamped = dict(payload)
+    stamped[CHECKSUM_KEY] = payload_checksum(payload)
+    return stamped
+
+
+def verify_checksum(payload: Dict[str, object]) -> bool:
+    """Whether an embedded checksum matches (payloads without one pass:
+    pre-integrity artifacts stay readable)."""
+    recorded = payload.get(CHECKSUM_KEY)
+    if recorded is None:
+        return True
+    return recorded == payload_checksum(payload)
+
+
+# ------------------------------------------------------------- atomic writes
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Publish ``data`` at ``path`` via write-tmp-then-rename.
+
+    The injection hook sits here — between the caller's correct payload
+    and the disk — so a ``corrupt_artifact`` fault models exactly what a
+    flaky disk does: the *write succeeds* and the rot is only discoverable
+    by verification on load.
+    """
+    path = Path(path)
+    injector = active_injector()
+    if injector is not None:
+        data = injector.corrupt_bytes(path, data)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_bytes(data)
+    os.replace(scratch, path)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Text counterpart of :func:`atomic_write_bytes` (same hook)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# ---------------------------------------------------------------- quarantine
+
+def quarantine_file(
+    path: Union[str, Path],
+    quarantine_root: Union[str, Path],
+    reason: str,
+    fault_log: Optional[FaultLog] = None,
+) -> Optional[Path]:
+    """Move a corrupt file into quarantine and record why.
+
+    The file is renamed to ``<utc-stamp>-<n>-<name>`` under
+    ``quarantine_root`` and a sibling ``*.reason.json`` documents the
+    original path and the failed check, so post-mortems can tell a torn
+    write from media rot.  Emits an :class:`IntegrityWarning`; returns the
+    quarantined path, or ``None`` when the move itself failed (in which
+    case the caller's recompute/loud-fail behaviour is unchanged — the
+    corrupt file is simply left in place and never trusted).
+    """
+    path = Path(path)
+    quarantine_root = Path(quarantine_root)
+    try:
+        quarantine_root.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        for n in range(10000):
+            candidate = quarantine_root / f"{stamp}-{n:04d}-{path.name}"
+            if not candidate.exists():
+                break
+        os.replace(path, candidate)
+        record = candidate.with_name(candidate.name + ".reason.json")
+        record.write_text(
+            json.dumps(
+                {
+                    "original_path": str(path),
+                    "quarantined_as": str(candidate),
+                    "reason": reason,
+                    "quarantined_at_utc": stamp,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    except OSError as error:
+        warnings.warn(
+            f"integrity: {path} failed verification ({reason}) and could "
+            f"not be quarantined either ({error}); it will be ignored",
+            IntegrityWarning,
+            stacklevel=2,
+        )
+        return None
+    if fault_log is not None:
+        fault_log.quarantined += 1
+        fault_log.record(f"quarantined {path.name}: {reason}")
+    warnings.warn(
+        f"integrity: quarantined {path} -> {candidate} ({reason})",
+        IntegrityWarning,
+        stacklevel=2,
+    )
+    return candidate
+
+
+def quarantine_records(
+    quarantine_root: Union[str, Path]
+) -> list:
+    """All ``*.reason.json`` records under a quarantine directory, oldest
+    first (what ``python -m repro quarantine`` lists)."""
+    root = Path(quarantine_root)
+    records = []
+    if not root.exists():
+        return records
+    for path in sorted(root.glob("*.reason.json")):
+        try:
+            records.append(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError):
+            records.append({"original_path": None, "reason": "unreadable "
+                            f"quarantine record {path.name}"})
+    return records

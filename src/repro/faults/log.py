@@ -1,0 +1,142 @@
+"""The :class:`FaultLog`: per-run accounting of faults seen and survived.
+
+Every recovery mechanism in the execution layer — shard retries after a
+worker crash, pool rebuilds, timeouts, serial fallbacks, quarantined
+artifacts — increments a counter here, so "the run succeeded" and "the run
+succeeded after recovering from three worker crashes" are distinguishable
+after the fact.  The log is stamped into ``ResultSet`` metadata
+(:func:`repro.experiments.registry.run`), the training summary
+(:func:`repro.training.pipeline.train_policies`) and ``BENCH_engine.json``
+(:class:`repro.engine.report.BenchReport`), so a chaos-free run carries an
+all-zero log and a chaotic one documents exactly what it survived.
+
+Counters are cumulative over the owner's lifetime; callers that need
+per-run numbers take a :meth:`FaultLog.snapshot` before and diff with
+:meth:`FaultLog.since` after (that is what the registry does around each
+experiment run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class ShardRecoveryWarning(RuntimeWarning):
+    """A shard of work failed and was recovered (retried or rerun serially).
+
+    Results are still correct — recovery re-executes deterministic work —
+    but the failure itself deserves attention.  The test suite promotes
+    this warning to an error outside the chaos tests (``pytest.ini``), so
+    an *unexpected* recovery can never silently paper over an engine bug.
+    """
+
+
+class IntegrityWarning(UserWarning):
+    """A persistent artifact failed an integrity check and was quarantined.
+
+    The corrupt file has been moved to the store's ``quarantine/``
+    directory (with a reason record) and the value will be recomputed or —
+    where recomputation is impossible, e.g. checkpoints — the load fails
+    loudly right after this warning.
+    """
+
+
+#: The integer counters a :class:`FaultLog` tracks, in reporting order.
+COUNTER_FIELDS = (
+    "retries",
+    "pool_rebuilds",
+    "serial_fallbacks",
+    "timeouts",
+    "worker_crashes",
+    "pickle_failures",
+    "quarantined",
+)
+
+
+@dataclass
+class FaultLog:
+    """Counters + an event trail for one execution-layer owner.
+
+    Attributes
+    ----------
+    retries: shards re-dispatched after a crash or timeout.
+    pool_rebuilds: process pools torn down and rebuilt mid-run.
+    serial_fallbacks: shards that exhausted their retry budget (or failed
+        in-process) and were re-run serially in the parent.
+    timeouts: shards abandoned because an attempt exceeded the runner's
+        ``shard_timeout_s``.
+    worker_crashes: worker deaths observed (``BrokenProcessPool``) or
+        simulated crashes raised by a shard.
+    pickle_failures: shards (or batches) that could not be pickled and
+        fell back to in-process execution.
+    quarantined: corrupt persistent files moved to a ``quarantine/``
+        directory by an integrity check.
+    wall_clock_lost_s: time spent in attempts whose work was lost.
+    events: human-readable trail of what fired, in order.
+    """
+
+    retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    pickle_failures: int = 0
+    quarantined: int = 0
+    wall_clock_lost_s: float = 0.0
+    events: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------- recording
+
+    def record(self, event: str) -> None:
+        """Append one human-readable event to the trail."""
+        self.events.append(event)
+
+    # ------------------------------------------------------------- reporting
+
+    def counters(self) -> Dict[str, float]:
+        """The numeric counters as a plain (JSON-able) dict."""
+        payload: Dict[str, float] = {
+            name: int(getattr(self, name)) for name in COUNTER_FIELDS
+        }
+        payload["wall_clock_lost_s"] = round(float(self.wall_clock_lost_s), 6)
+        return payload
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters plus the event trail (what reports embed)."""
+        payload: Dict[str, object] = dict(self.counters())
+        payload["events"] = list(self.events)
+        return payload
+
+    def any_faults(self) -> bool:
+        """Whether any counter is non-zero."""
+        return any(value for value in self.counters().values())
+
+    # ----------------------------------------------------------- per-run math
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current counter values, for later diffing with :meth:`since`."""
+        return self.counters()
+
+    def since(self, snapshot: Dict[str, float]) -> Dict[str, float]:
+        """Counter deltas accumulated after ``snapshot`` was taken."""
+        now = self.counters()
+        return {
+            key: (
+                round(value - snapshot.get(key, 0), 6)
+                if key == "wall_clock_lost_s"
+                else int(value - snapshot.get(key, 0))
+            )
+            for key, value in now.items()
+        }
+
+
+def merge_counter_dicts(*deltas: Dict[str, float]) -> Dict[str, float]:
+    """Key-wise sum of counter dicts (runner log + store log, say)."""
+    merged: Dict[str, float] = {name: 0 for name in COUNTER_FIELDS}
+    merged["wall_clock_lost_s"] = 0.0
+    for delta in deltas:
+        for key, value in delta.items():
+            merged[key] = merged.get(key, 0) + value
+    merged["wall_clock_lost_s"] = round(merged["wall_clock_lost_s"], 6)
+    return merged

@@ -1,0 +1,178 @@
+"""Deterministic fault plans: chaos scenarios as reproducible fixtures.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultSpec`s — *kill the
+worker running shard 2*, *delay shard 0 by 1.5 s*, *bit-flip the next
+``result.json`` written*, *fail the 3rd pickle* — that the execution layer
+consults through injection hooks (:mod:`repro.faults.injector`).  Because a
+plan is plain data and :meth:`FaultPlan.random` derives one purely from a
+seed, every chaos scenario is a reproducible test fixture: the same seed
+injects the same faults at the same points, so CI can assert that each one
+either recovers to bit-identical results or fails loudly with a quarantine
+record — never silently wrong (``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.utils.validation import require
+
+#: Faults aimed at one dispatched shard of work (consulted by the runner
+#: and the lockstep core; the shard index is the dispatch index on the
+#: executing path).
+SHARD_FAULT_KINDS = ("kill_worker", "delay_shard", "raise_in_shard")
+
+#: Faults aimed at persistence and serialisation.
+STORE_FAULT_KINDS = ("corrupt_artifact", "broken_pickle")
+
+FAULT_KINDS = SHARD_FAULT_KINDS + STORE_FAULT_KINDS
+
+#: Corruption modes for ``corrupt_artifact``: ``truncate`` models a torn
+#: write (caught by JSON/npz parsing or checksums), ``bitflip`` models
+#: silent media corruption (parses fine; only checksums catch it).
+CORRUPT_MODES = ("truncate", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    Attributes
+    ----------
+    kind: one of :data:`FAULT_KINDS`.
+    shard: target shard index for shard faults (``None`` = first shard
+        dispatched after activation).
+    delay_s: sleep injected by ``delay_shard`` (pair with a runner
+        ``shard_timeout_s`` below it to provoke the timeout path).
+    path_glob: ``fnmatch`` pattern on the *file name* a
+        ``corrupt_artifact`` fault strikes (``result.json``, ``*.json``,
+        ``state.npz``, …).
+    mode: ``truncate`` or ``bitflip`` for ``corrupt_artifact``.
+    at_pickle: 1-based dispatch-pickle ordinal a ``broken_pickle`` fault
+        fires on.
+    times: how many firings before the fault is exhausted (faults are
+        consumed: a retried shard does not re-trigger a spent fault).
+    """
+
+    kind: str
+    shard: Optional[int] = None
+    delay_s: float = 0.0
+    path_glob: str = "*"
+    mode: str = "truncate"
+    at_pickle: int = 1
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS,
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        require(self.mode in CORRUPT_MODES,
+                f"corrupt mode must be one of {CORRUPT_MODES}, got {self.mode!r}")
+        require(self.delay_s >= 0.0, "delay_s must be >= 0")
+        require(self.at_pickle >= 1, "at_pickle is 1-based; must be >= 1")
+        require(self.times >= 1, "times must be >= 1")
+
+    def describe(self) -> str:
+        """One-line human-readable form (used in fault-log events)."""
+        if self.kind == "kill_worker":
+            target = "first shard" if self.shard is None else f"shard {self.shard}"
+            return f"kill worker running {target}"
+        if self.kind == "delay_shard":
+            target = "first shard" if self.shard is None else f"shard {self.shard}"
+            return f"delay {target} by {self.delay_s}s"
+        if self.kind == "raise_in_shard":
+            target = "first shard" if self.shard is None else f"shard {self.shard}"
+            return f"raise in {target}"
+        if self.kind == "corrupt_artifact":
+            return f"{self.mode} next write matching {self.path_glob!r}"
+        return f"fail pickle #{self.at_pickle}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable set of faults to inject into one run."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def describe(self) -> Tuple[str, ...]:
+        """Human-readable plan summary."""
+        return tuple(spec.describe() for spec in self.faults)
+
+    # ------------------------------------------------------------- generation
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        max_faults: int = 3,
+        num_shards: int = 8,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+        max_delay_s: float = 0.25,
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan: same seed, same plan.
+
+        ``kinds`` narrows the fault population (e.g. in-process chaos tests
+        drop ``kill_worker``); ``num_shards`` bounds shard targets so every
+        generated fault can actually fire on a small grid.
+        """
+        require(max_faults >= 1, "max_faults must be >= 1")
+        require(num_shards >= 1, "num_shards must be >= 1")
+        rng = random.Random(int(seed))
+        specs = []
+        for _ in range(rng.randint(1, max_faults)):
+            kind = rng.choice(list(kinds))
+            if kind in SHARD_FAULT_KINDS:
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        shard=rng.randrange(num_shards),
+                        delay_s=(
+                            round(rng.uniform(0.01, max_delay_s), 3)
+                            if kind == "delay_shard"
+                            else 0.0
+                        ),
+                    )
+                )
+            elif kind == "corrupt_artifact":
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        path_glob=rng.choice(
+                            ("result.json", "*.json", "state.npz", "*")
+                        ),
+                        mode=rng.choice(list(CORRUPT_MODES)),
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(kind=kind, at_pickle=rng.randint(1, 4))
+                )
+        return cls(faults=tuple(specs), seed=int(seed))
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (round-trips via :meth:`from_dict`) — lets chaos
+        fixtures live in files or CI matrices."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {f.name: getattr(spec, f.name) for f in fields(spec)}
+                for spec in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            faults=tuple(
+                FaultSpec(**entry) for entry in payload.get("faults", [])
+            ),
+            seed=payload.get("seed"),
+        )

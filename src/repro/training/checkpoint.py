@@ -15,10 +15,19 @@ restores the state dict, so a reloaded agent makes bit-identical decisions
 *and* resumes training bit-identically (optimiser state included).  Loaded
 policies drop straight into the experiment grids — see
 :meth:`repro.experiments.common.ExperimentContext.install_trained_agents`.
+
+Writes are crash-consistent: ``state.npz`` is serialised in memory and
+published atomically, its digest is recorded as ``state_checksum`` in the
+(checksummed, atomically written) metadata, and ``metadata.json`` always
+lands *after* the state it describes.  A checkpoint that fails
+verification on load cannot be recomputed (the training run is gone), so
+it is quarantined under ``<root>/quarantine/`` and the load raises —
+never a silently-wrong resume.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -27,6 +36,16 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.abr.pensieve import PensieveABR, PensieveConfig
+from repro.faults.integrity import (
+    QUARANTINE_DIR,
+    atomic_write_bytes,
+    atomic_write_text,
+    attach_checksum,
+    quarantine_file,
+    sha256_hex,
+    verify_checksum,
+)
+from repro.faults.log import FaultLog
 from repro.training.collector import build_policy
 from repro.utils.validation import require
 
@@ -74,6 +93,13 @@ class CheckpointStore:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Integrity accounting (quarantines) for this store's lifetime.
+        self.fault_log = FaultLog()
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Where this store collects corrupt files (and reason records)."""
+        return self.root / QUARANTINE_DIR
 
     # ------------------------------------------------------------------ save
 
@@ -83,13 +109,23 @@ class CheckpointStore:
         name: str,
         metrics: Optional[Dict[str, float]] = None,
     ) -> CheckpointInfo:
-        """Persist a policy under ``name`` (overwriting any previous save)."""
+        """Persist a policy under ``name`` (overwriting any previous save).
+
+        ``state.npz`` is serialised in memory, published atomically, and
+        its digest recorded in the metadata; the (checksummed) metadata is
+        then published atomically too, *after* the state it describes.  A
+        crash between the two leaves a checksum mismatch that load will
+        quarantine loudly rather than a silently torn checkpoint.
+        """
         require(bool(name) and "/" not in name and name not in (".", ".."),
                 f"invalid checkpoint name {name!r}")
         directory = self.root / name
         directory.mkdir(parents=True, exist_ok=True)
         state = abr.agent.state_dict()
-        np.savez(directory / _STATE_FILE, **state)
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)
+        state_bytes = buffer.getvalue()
+        atomic_write_bytes(directory / _STATE_FILE, state_bytes)
         metadata = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "kind": abr.policy_kind,
@@ -97,16 +133,25 @@ class CheckpointStore:
             "trained_episodes": abr.trained_episodes,
             "save_index": self._next_save_index(),
             "metrics": dict(metrics or {}),
+            "state_checksum": f"sha256:{sha256_hex(state_bytes)}",
         }
-        (directory / _METADATA_FILE).write_text(
-            json.dumps(metadata, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            directory / _METADATA_FILE,
+            json.dumps(attach_checksum(metadata), indent=2, sort_keys=True)
+            + "\n",
         )
         return self._info(name, metadata)
 
     # ------------------------------------------------------------------ load
 
     def load(self, name: str) -> PensieveABR:
-        """Rebuild the policy saved under ``name``."""
+        """Rebuild the policy saved under ``name``.
+
+        A checkpoint cannot be recomputed, so verification failures are
+        terminal: the corrupt file is quarantined (with a reason record)
+        and a :class:`ValueError` raised — resuming from rotten optimiser
+        state would silently break the bit-identical-resume guarantee.
+        """
         metadata = self.metadata(name)
         version = int(metadata["format_version"])
         require(
@@ -116,17 +161,64 @@ class CheckpointStore:
         )
         config = _config_from_jsonable(metadata["config"])
         abr = build_policy(metadata["kind"], config)
-        with np.load(self.root / name / _STATE_FILE) as archive:
-            state = {key: archive[key] for key in archive.files}
+        state_path = self.root / name / _STATE_FILE
+        require(state_path.exists(),
+                f"checkpoint {name!r} has no {_STATE_FILE} in {self.root}")
+        state_bytes = state_path.read_bytes()
+        recorded = metadata.get("state_checksum")
+        if (recorded is not None
+                and recorded != f"sha256:{sha256_hex(state_bytes)}"):
+            quarantine_file(state_path, self.quarantine_root,
+                            "checkpoint state checksum mismatch",
+                            fault_log=self.fault_log)
+            raise ValueError(
+                f"checkpoint {name!r} failed state verification; the "
+                f"corrupt {_STATE_FILE} was quarantined under "
+                f"{self.quarantine_root}"
+            )
+        try:
+            with np.load(io.BytesIO(state_bytes)) as archive:
+                state = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError) as error:
+            # Pre-integrity checkpoints carry no checksum, so a torn npz
+            # can still reach np.load — same terminal treatment.
+            quarantine_file(state_path, self.quarantine_root,
+                            f"unreadable checkpoint state: "
+                            f"{type(error).__name__}: {error}",
+                            fault_log=self.fault_log)
+            raise ValueError(
+                f"checkpoint {name!r} state is unreadable ({error}); "
+                f"quarantined under {self.quarantine_root}"
+            ) from error
         abr.agent.load_state_dict(state)
         abr.record_training(int(metadata["trained_episodes"]))
         return abr
 
     def metadata(self, name: str) -> dict:
-        """Raw metadata of a checkpoint."""
+        """Raw metadata of a checkpoint (verified; corrupt metadata is
+        quarantined and raises — a checkpoint is not recomputable)."""
         path = self.root / name / _METADATA_FILE
         require(path.exists(), f"no checkpoint named {name!r} in {self.root}")
-        return json.loads(path.read_text())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            quarantine_file(path, self.quarantine_root,
+                            f"unreadable checkpoint metadata: "
+                            f"{type(error).__name__}: {error}",
+                            fault_log=self.fault_log)
+            raise ValueError(
+                f"checkpoint {name!r} metadata is unreadable ({error}); "
+                f"quarantined under {self.quarantine_root}"
+            ) from error
+        if not verify_checksum(payload):
+            quarantine_file(path, self.quarantine_root,
+                            "checkpoint metadata checksum mismatch",
+                            fault_log=self.fault_log)
+            raise ValueError(
+                f"checkpoint {name!r} failed metadata verification; "
+                f"quarantined under {self.quarantine_root}"
+            )
+        return payload
 
     def describe(self, name: str) -> CheckpointInfo:
         """Structured summary of a checkpoint."""

@@ -23,6 +23,7 @@ import numpy as np
 from repro.abr.pensieve import PensieveABR, PensieveConfig
 from repro.core.sensei_abr import make_sensei_pensieve
 from repro.engine.runner import BatchRunner
+from repro.faults.log import merge_counter_dicts
 from repro.training.checkpoint import CheckpointStore
 from repro.training.curriculum import CurriculumConfig, ScenarioCurriculum
 from repro.training.trainer import Trainer, TrainerConfig, evaluate_policy
@@ -110,6 +111,9 @@ def train_policies(
             scale=scale, seed=seed, checkpoint_root=checkpoint_root,
         )
         store = CheckpointStore(checkpoint_root)
+        # Runner may be caller-owned and shared, so report this run's
+        # fault-log delta, not lifetime totals.
+        runner_faults_before = runner.fault_log.snapshot()
         if verbose:
             print(f"Videos: {', '.join(context.video_ids())}; "
                   f"traces: {', '.join(t.name for t in context.traces())}; "
@@ -160,6 +164,10 @@ def train_policies(
             "checkpoint_root": str(checkpoint_root),
             "policies": trajectories,
             "grid_mean_qoe": grid,
+            "fault_log": merge_counter_dicts(
+                runner.fault_log.since(runner_faults_before),
+                store.fault_log.counters(),
+            ),
         }
     finally:
         if owns_runner:

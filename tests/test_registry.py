@@ -26,6 +26,7 @@ from repro.experiments.results import (
     RESULTSET_FORMAT_VERSION,
 )
 from repro.experiments.spec import ExperimentSpec, resolve_scale, scale_names
+from repro.faults.integrity import attach_checksum
 
 
 def tiny_spec(experiment: str, **overrides) -> ExperimentSpec:
@@ -183,7 +184,9 @@ class TestArtifactStore:
         path = store.path_for(spec) / "result.json"
         payload = json.loads(path.read_text())
         payload["format_version"] = RESULTSET_FORMAT_VERSION + 1
-        path.write_text(json.dumps(payload))
+        # Re-stamp the checksum: the tampered file must pass integrity
+        # verification so the version gate itself is what rejects it.
+        path.write_text(json.dumps(attach_checksum(payload)))
         with pytest.raises(ValueError, match="format version"):
             store.load(spec)
 
@@ -207,11 +210,17 @@ class TestCellCache:
         assert cache.get("grid/BBA/v/t") == 0.5
         assert cache.hits == 1
 
-    def test_truncated_cell_is_a_miss_not_an_error(self, tmp_path):
+    def test_truncated_cell_is_a_quarantined_miss_not_an_error(self, tmp_path):
+        from repro.faults.log import IntegrityWarning
+
         cache = CellCache(tmp_path)
         cache.put("k", 1.0)
         cache._path("k").write_text('{"key": "k", "val')  # crash mid-write
-        assert cache.get("k") is None
+        # A torn cell is a miss, but never a *silent* one: it is moved to
+        # quarantine with a warning so the corruption leaves evidence.
+        with pytest.warns(IntegrityWarning, match="quarantined"):
+            assert cache.get("k") is None
+        assert cache.fault_log.quarantined == 1
         cache.put("k", 2.0)  # and the cache repairs itself
         assert cache.get("k") == 2.0
 

@@ -40,6 +40,7 @@ from repro.training import (
     congestion_onset_trace,
     evaluate_policy,
 )
+from repro.faults.integrity import attach_checksum
 from repro.training.checkpoint import CHECKPOINT_FORMAT_VERSION
 from repro.training.collector import RolloutShard
 from repro.video.chunk import DEFAULT_LADDER
@@ -333,7 +334,9 @@ class TestCheckpointStore:
         metadata_path = tmp_path / "future" / "metadata.json"
         metadata = json.loads(metadata_path.read_text())
         metadata["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
-        metadata_path.write_text(json.dumps(metadata))
+        # Re-stamp the checksum: the tampered file must pass integrity
+        # verification so the version gate itself is what rejects it.
+        metadata_path.write_text(json.dumps(attach_checksum(metadata)))
         with pytest.raises(ValueError, match="format version"):
             store.load("future")
 
