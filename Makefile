@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list
+.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list profile
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -36,6 +36,11 @@ bench:
 ## Training perf harness: episodes/sec per backend -> BENCH_training.json.
 bench-training:
 	$(PYTHON) -m pytest benchmarks/test_perf_training.py -v -s
+
+## Phase-level profile of the headline experiment: telemetry on, fresh
+## registry, no artifact cache (docs/OBSERVABILITY.md).
+profile:
+	$(PYTHON) -m repro profile headline --scale quick --backend lockstep
 
 ## The experiment catalogue (spec/registry CLI).
 list:

@@ -32,11 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 from itertools import product
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.abr.base import PlayerObservation
+from repro.obs.metrics import register_collector
+from repro.obs.trace import TRACE, record_span
 from repro.qoe.ksqi import KSQIModel
 from repro.utils.validation import require
 
@@ -165,6 +168,24 @@ def clear_plan_cache() -> None:
 def plan_cache_info():
     """``lru_cache`` statistics of the candidate-tree memo."""
     return _cached_level_sequences.cache_info()
+
+
+def _publish_plan_cache(registry) -> None:
+    """Snapshot-time collector publishing the candidate-tree memo stats.
+
+    Registered with the metrics registry so every snapshot — bench reports,
+    ``python -m repro profile``, JSONL/Prometheus sinks — reads the same
+    ``plan_cache.*`` gauges instead of each consumer poking at
+    ``lru_cache`` introspection on its own.  Gauges, not counters:
+    ``cache_info()`` is already cumulative for the process.
+    """
+    info = _cached_level_sequences.cache_info()
+    registry.gauge("plan_cache.hits").set(info.hits)
+    registry.gauge("plan_cache.misses").set(info.misses)
+    registry.gauge("plan_cache.currsize").set(info.currsize)
+
+
+register_collector(_publish_plan_cache)
 
 
 @dataclass(frozen=True)
@@ -462,6 +483,11 @@ def evaluate_candidates_batch(
         no-ops then); False always takes the general path, which is also
         correct for uniform weights.  None (default) checks the array.
     """
+    # Manual span timing (no context manager) on the hottest call site in
+    # the engine; the kernel has a single exit, so no try/finally needed.
+    if TRACE.enabled:
+        _span_t0 = perf_counter()
+
     num_sessions, horizon = weights.shape
     num_candidates = candidates.shape[0]
     bitrates = np.asarray(bitrates_kbps, dtype=float)
@@ -689,6 +715,9 @@ def evaluate_candidates_batch(
             )
     else:
         best_rebuffer = np.zeros(num_sessions)
+
+    if TRACE.enabled:
+        record_span("planner.kernel", perf_counter() - _span_t0)
 
     return BatchPlanEvaluation(
         best_level=best_level,

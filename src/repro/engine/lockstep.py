@@ -59,6 +59,7 @@ from repro.faults.injector import (
     execute_shard_fault,
 )
 from repro.faults.log import FaultLog, ShardRecoveryWarning
+from repro.obs.trace import TRACE, trace_span
 
 from repro.abr.base import ABRAlgorithm
 from repro.abr.bba import BufferBasedABR
@@ -127,7 +128,8 @@ def run_orders_lockstep(
         try:
             if fault is not None:
                 execute_shard_fault(fault, in_worker=False)
-            shard_results = _run_shard(shard_orders)
+            with trace_span("engine.lockstep.shard"):
+                shard_results = _run_shard(shard_orders)
         except Exception as error:
             warnings.warn(
                 f"lockstep: shard {shard_index} ({len(shard_orders)} "
@@ -147,6 +149,12 @@ def run_orders_lockstep(
             shard_results = [order.run() for order in shard_orders]
         for index, result in zip(indices, shard_results):
             results[index] = result
+    if TRACE.enabled:
+        # Lazy import: the runner module imports lockstep functions
+        # lazily, so the reverse edge must not run at module import time.
+        from repro.engine.runner import _observe_session_results
+
+        _observe_session_results(results)
     return results
 
 
@@ -210,7 +218,11 @@ def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
                 levels[positions] = group_levels
                 stalls[positions] = group_stalls
         if requests:
-            _execute_plan_requests(requests, shard)
+            # Covers request merging/splitting *and* the kernel calls; the
+            # kernel's own time lands under the nested ``planner.kernel``
+            # span recorded inside evaluate_candidates_batch.
+            with trace_span("engine.lockstep.plan"):
+                _execute_plan_requests(requests, shard)
         for positions, finish in finishers:
             group_levels, group_stalls = finish()
             levels[positions] = group_levels

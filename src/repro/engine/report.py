@@ -18,6 +18,7 @@ import os
 import platform
 import subprocess
 from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -25,6 +26,19 @@ from repro.faults.integrity import atomic_write_text
 
 #: Default report location (repo root).
 DEFAULT_REPORT_NAME = "BENCH_engine.json"
+
+#: Span names the phase arithmetic is defined over.  ``planner.kernel``
+#: and ``player.step`` are disjoint leaves under the ``engine.dispatch``
+#: root (a kernel call never nests inside a step or vice versa), so
+#: dispatch minus the two leaves is a meaningful "everything else" bucket.
+DISPATCH_SPAN = "engine.dispatch"
+KERNEL_SPAN = "planner.kernel"
+STEP_SPAN = "player.step"
+
+
+def utc_now_iso() -> str:
+    """The current wall-clock instant as an ISO-8601 UTC timestamp."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 def environment_fingerprint() -> Dict[str, object]:
@@ -76,8 +90,15 @@ class BenchReport:
         rebuilds, serial fallbacks, timeouts, quarantines and the
         wall-clock they cost.  All-zero on a healthy run — a bench
         number produced through recovery paths is flagged, not hidden.
+    phases:
+        Span-tracer phase breakdown of a telemetry-enabled grid run
+        (:func:`phases_from_snapshot`): planner-kernel vs player-stepping
+        vs everything-else wall-clock seconds and their shares of the
+        dispatch span.  Measured by :mod:`repro.obs.trace`, not
+        hand-timed.
     meta:
-        Environment fingerprint (python, platform, CPU count).
+        Environment fingerprint (python, platform, CPU count) plus the
+        run's ``started_at`` timestamp and ``duration_s`` wall clock.
     """
 
     sessions_per_sec: float = 0.0
@@ -85,11 +106,52 @@ class BenchReport:
     grid: Dict[str, float] = field(default_factory=dict)
     plan_cache: Dict[str, int] = field(default_factory=dict)
     fault_log: Dict[str, object] = field(default_factory=dict)
+    phases: Dict[str, object] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
         return asdict(self)
+
+
+def phases_from_snapshot(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The phase breakdown of a metrics snapshot's spans.
+
+    Splits the :data:`DISPATCH_SPAN` wall clock into the two disjoint
+    leaves the tracer times — :data:`KERNEL_SPAN` (candidate-tensor
+    evaluation) and :data:`STEP_SPAN` (SoA player stepping) — plus an
+    arithmetic ``other_s`` remainder (driver decide loops, request
+    merging, result assembly).  Shares are fractions of the dispatch
+    total and only emitted when a dispatch span was recorded.  On the
+    process backend the worker leaves accumulate in parallel wall
+    clocks, so their sum may exceed the parent's dispatch time; the
+    remainder is clamped at zero rather than reported negative.
+
+    Returns ``{}`` when the snapshot has no spans (telemetry off).
+    """
+    spans = snapshot.get("spans", {})
+    if not spans:
+        return {}
+
+    def total(name: str) -> float:
+        return float(spans.get(name, {}).get("total_s", 0.0))
+
+    dispatch = total(DISPATCH_SPAN)
+    kernel = total(KERNEL_SPAN)
+    stepping = total(STEP_SPAN)
+    phases: Dict[str, object] = {
+        "dispatch_s": round(dispatch, 6),
+        "planner_kernel_s": round(kernel, 6),
+        "stepping_s": round(stepping, 6),
+        "other_s": round(max(dispatch - kernel - stepping, 0.0), 6),
+    }
+    if dispatch > 0.0:
+        phases["planner_kernel_share"] = round(kernel / dispatch, 4)
+        phases["stepping_share"] = round(stepping / dispatch, 4)
+        phases["other_share"] = round(
+            max(1.0 - kernel / dispatch - stepping / dispatch, 0.0), 4
+        )
+    return phases
 
 
 def write_bench_report(
@@ -102,6 +164,7 @@ def write_bench_report(
     payload = report.to_dict()
     for key, value in environment_fingerprint().items():
         payload["meta"].setdefault(key, value)
+    payload["meta"].setdefault("started_at", utc_now_iso())
     revision = git_revision()
     if revision is not None:
         payload["meta"].setdefault("git_revision", revision)

@@ -67,6 +67,13 @@ from repro.faults.injector import (
 )
 from repro.faults.log import FaultLog, ShardRecoveryWarning, merge_counter_dicts
 from repro.network.trace import ThroughputTrace
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+from repro.obs.trace import TRACE, set_enabled, trace_span
 from repro.player.session import SessionConfig, StreamingSession, StreamResult
 from repro.utils.validation import require
 from repro.video.encoder import EncodedVideo
@@ -139,15 +146,57 @@ class _OrderShard:
     #: (consumed from the active :class:`~repro.faults.injector.
     #: FaultInjector`, so a retried shard runs clean).
     fault: Optional[ShardFault] = None
+    #: Whether the parent had telemetry enabled at dispatch time.  Shipped
+    #: with the shard — never inherited ambiently — so a worker traces
+    #: exactly when its parent does, even in a pool spawned before the
+    #: parent enabled tracing.
+    telemetry: bool = False
 
 
-def _execute_shard(shard: _OrderShard) -> List[StreamResult]:
-    """Run one shard through the lockstep core (module-level to pickle)."""
+def _execute_shard(
+    shard: _OrderShard,
+) -> Tuple[List[StreamResult], Optional[Dict[str, object]]]:
+    """Run one shard through the lockstep core (module-level to pickle).
+
+    Returns ``(results, metrics_snapshot)``.  With telemetry on, the shard
+    runs against a fresh worker-local
+    :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot travels
+    back for the parent to merge — the same delta-shipping discipline as
+    ``FaultLog`` counters, and fresh-per-shard so a reused pool worker
+    never double-reports an earlier shard's metrics.
+    """
     from repro.engine.lockstep import run_orders_lockstep
 
     if shard.fault is not None:
         execute_shard_fault(shard.fault, in_worker=True)
-    return run_orders_lockstep(shard.orders)
+    if not shard.telemetry:
+        return run_orders_lockstep(shard.orders), None
+    previous = set_enabled(True)
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            results = run_orders_lockstep(shard.orders)
+    finally:
+        set_enabled(previous)
+    return results, registry.snapshot()
+
+
+def _observe_session_results(results: Sequence[StreamResult]) -> None:
+    """Fold finished sessions into the active registry (telemetry on only).
+
+    The observed quantities are *simulated* (deterministic), so serial,
+    lockstep and process backends report identical totals — the invariant
+    ``tests/test_obs.py`` asserts across the shard boundary.
+    """
+    if not TRACE.enabled:
+        return
+    registry = get_registry()
+    registry.counter("engine.orders_completed").add(len(results))
+    histogram = registry.histogram(
+        "engine.session_duration_s", buckets=DEFAULT_SIZE_BUCKETS
+    )
+    for result in results:
+        histogram.observe(result.session_duration_s)
 
 
 class BatchRunner:
@@ -242,17 +291,29 @@ class BatchRunner:
     # ------------------------------------------------------------------ API
 
     def run_orders(self, orders: Sequence[WorkOrder]) -> List[StreamResult]:
-        """Run every order; results align index-for-index with ``orders``."""
+        """Run every order; results align index-for-index with ``orders``.
+
+        The whole dispatch — whichever backend runs it — is timed under
+        the ``engine.dispatch`` root span, the denominator every phase
+        share in ``BENCH_engine.json`` and ``repro profile`` is computed
+        against.
+        """
         orders = list(orders)
         if not orders:
             return []
-        if self.backend == "lockstep":
-            from repro.engine.lockstep import run_orders_lockstep
+        with trace_span("engine.dispatch"):
+            if self.backend == "lockstep":
+                from repro.engine.lockstep import run_orders_lockstep
 
-            return run_orders_lockstep(orders, fault_log=self.fault_log)
-        if self.backend == "process":
-            return self._run_orders_process(orders)
-        return self.map_ordered(_execute_order, orders)
+                return run_orders_lockstep(orders, fault_log=self.fault_log)
+            if self.backend == "process":
+                return self._run_orders_process(orders)
+            results = self.map_ordered(_execute_order, orders)
+            # Lockstep-path runs observe inside run_orders_lockstep (which
+            # also covers pool workers and in-process fallbacks); the
+            # serial loop is the one path that must observe here.
+            _observe_session_results(results)
+            return results
 
     def map_ordered(
         self, fn: Callable[[_T], _R], items: Sequence[_T]
@@ -264,6 +325,12 @@ class BatchRunner:
         streaming sessions); the process backend distributes items over
         workers and reassembles results in submission order.
         """
+        with trace_span("engine.map"):
+            return self._map_ordered(fn, items)
+
+    def _map_ordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> List[_R]:
         items = list(items)
         if not items:
             return []
@@ -355,7 +422,9 @@ class BatchRunner:
         shard_count = min(len(orders), workers * SHARDS_PER_WORKER)
         bounds = np.linspace(0, len(orders), shard_count + 1).astype(int)
         shards = [
-            _OrderShard(orders=tuple(orders[start:stop]))
+            _OrderShard(
+                orders=tuple(orders[start:stop]), telemetry=TRACE.enabled
+            )
             for start, stop in zip(bounds[:-1], bounds[1:])
             if stop > start
         ]
@@ -437,7 +506,8 @@ class BatchRunner:
             if injector is not None:
                 fault = injector.take_shard_fault(index)
                 if fault is not None:
-                    shard = _OrderShard(orders=shard.orders, fault=fault)
+                    shard = _OrderShard(orders=shard.orders, fault=fault,
+                                        telemetry=shard.telemetry)
             try:
                 if injector is not None:
                     injector.on_pickle()
@@ -467,7 +537,12 @@ class BatchRunner:
                 index = futures[future]
                 remaining.pop(future, None)
                 try:
-                    results[index] = future.result()
+                    shard_results, metrics = future.result()
+                    results[index] = shard_results
+                    if metrics is not None:
+                        # The worker's registry delta lands in the parent's
+                        # active registry, mirroring FaultLog merging.
+                        get_registry().merge_snapshot(metrics)
                 except SimulatedWorkerCrash as error:
                     # The worker survived (the crash was raised, not a real
                     # death), so the pool is still good: just retry.

@@ -18,6 +18,12 @@ Subcommands
 ``train``
     The RL training pipeline: curricula → checkpoints → checkpoint-backed
     ABR grid (see :mod:`repro.training.pipeline`).
+``profile``
+    Run one experiment with span tracing enabled in a fresh metrics
+    registry and print the phase breakdown (planner kernel vs player
+    stepping vs dispatch overhead), the counters and the gauges;
+    ``--events``/``--prom`` additionally write the JSONL event log and a
+    Prometheus textfile export (:mod:`repro.obs.sinks`).
 ``quarantine``
     List integrity-quarantine records: every file an
     :class:`~repro.experiments.results.ArtifactStore` or
@@ -25,10 +31,11 @@ Subcommands
     a failed verification, with the recorded reason.
 
 ``run`` and ``train`` accept fault-tolerance knobs (``--shard-timeout``,
-``--max-shard-retries``).  These are execution policy, not experiment
-identity — they configure the :class:`~repro.engine.runner.BatchRunner`
-passed *alongside* the spec, so they never perturb spec hashes or cached
-artifacts (the same discipline as ``--backend``/``--workers``).
+``--max-shard-retries``) and a ``--telemetry`` switch.  These are
+execution policy, not experiment identity — they configure the
+:class:`~repro.engine.runner.BatchRunner` / the tracer *alongside* the
+spec, so they never perturb spec hashes or cached artifacts (the same
+discipline as ``--backend``/``--workers``).
 """
 
 from __future__ import annotations
@@ -143,6 +150,32 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="print the training summary as JSON")
     _add_fault_knobs(train_cmd)
 
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one experiment with telemetry on and print the phase "
+             "breakdown",
+    )
+    profile_cmd.add_argument("experiment", metavar="EXPERIMENT",
+                             help="registered experiment name (see `list`)")
+    profile_cmd.add_argument("--scale", default="tiny",
+                             help=f"scale preset ({', '.join(scale_names())})")
+    profile_cmd.add_argument("--seed", type=int, default=7)
+    profile_cmd.add_argument("--backend", default="auto",
+                             choices=("serial", "process", "lockstep", "auto"))
+    profile_cmd.add_argument("--workers", type=int, default=None)
+    profile_cmd.add_argument("--checkpoints", default=None, metavar="DIR",
+                             help="CheckpointStore root for trained policies")
+    profile_cmd.add_argument("--set", dest="overrides", action="append",
+                             default=[], type=_parse_override,
+                             metavar="KEY=VALUE",
+                             help="experiment parameter override")
+    profile_cmd.add_argument("--events", default=None, metavar="PATH",
+                             help="write the run's JSONL event log here")
+    profile_cmd.add_argument("--prom", default=None, metavar="PATH",
+                             help="write a Prometheus textfile export here")
+    profile_cmd.add_argument("--json", action="store_true",
+                             help="print phases + full snapshot as JSON")
+
     quarantine_cmd = sub.add_parser(
         "quarantine", help="list files quarantined by integrity checks"
     )
@@ -169,6 +202,9 @@ def _add_fault_knobs(command: argparse.ArgumentParser) -> None:
                          metavar="N",
                          help="re-dispatch a lost shard up to N times "
                               "before running it serially in-process")
+    command.add_argument("--telemetry", action="store_true",
+                         help="enable span tracing + metrics for this "
+                              "invocation (adds a phase summary per run)")
 
 
 def _fault_knobs(args) -> Dict[str, object]:
@@ -239,8 +275,19 @@ def _print_fault_summary(fault_log, indent: str = "  ") -> None:
         print(f"{indent}faults recovered: {rendered}")
 
 
+def _print_phase_summary(phases, indent: str = "  ") -> None:
+    """One line splitting a run's dispatch time into kernel/step/other."""
+    if not isinstance(phases, dict) or "dispatch_s" not in phases:
+        return
+    print(f"{indent}phases: dispatch={phases['dispatch_s']:.3f}s "
+          f"(kernel={phases.get('planner_kernel_s', 0):.3f}s, "
+          f"stepping={phases.get('stepping_s', 0):.3f}s, "
+          f"other={phases.get('other_s', 0):.3f}s)")
+
+
 def _cmd_run(args) -> int:
     from repro.experiments.registry import _runner_for
+    from repro.obs.trace import set_enabled
 
     store = None if args.no_save else ArtifactStore(args.results)
     for name in args.experiments:
@@ -249,6 +296,7 @@ def _cmd_run(args) -> int:
     # therefore cache hits) are identical with and without them.
     knobs = _fault_knobs(args)
     runner = None
+    previous_telemetry = set_enabled(True) if args.telemetry else None
     try:
         for name in args.experiments:
             spec = ExperimentSpec(
@@ -281,11 +329,14 @@ def _cmd_run(args) -> int:
             else:
                 _print_scalars(result.data)
             _print_fault_summary(result.meta.get("fault_log"))
+            _print_phase_summary(result.meta.get("phases"))
             if store is not None and get_experiment(name).cacheable:
                 print(f"  artifact: {store.path_for(result.spec)}")
     finally:
         if runner is not None:
             runner.close()
+        if previous_telemetry is not None:
+            set_enabled(previous_telemetry)
     return 0
 
 
@@ -322,11 +373,94 @@ def _cmd_report(args) -> int:
     print(f"spec: {json.dumps(result.spec.to_dict(), sort_keys=True)}")
     print("meta:")
     _print_scalars(result.meta)
+    phases = result.meta.get("phases")
+    if isinstance(phases, dict) and phases:
+        print("phases:")
+        _print_scalars(phases)
     print("data:")
     _print_scalars(result.data)
     rows = result.summary_rows()
     if rows and "key" not in rows[0]:
         print(f"rows: {len(rows)} (see result.csv)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.engine.report import phases_from_snapshot
+    from repro.obs import (
+        MetricsRegistry,
+        phase_table,
+        run_events,
+        set_enabled,
+        use_registry,
+        write_events_jsonl,
+        write_prometheus,
+    )
+
+    defn = get_experiment(args.experiment)
+    spec = ExperimentSpec(
+        experiment=defn.name,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        max_workers=args.workers,
+        checkpoint_root=args.checkpoints,
+        params=dict(args.overrides),
+    )
+    # A fresh registry + store=None: the profile measures one real
+    # computation, never a cache hit, and never pollutes ambient metrics.
+    metrics = MetricsRegistry()
+    previous = set_enabled(True)
+    try:
+        with use_registry(metrics):
+            result = run(spec, store=None)
+    finally:
+        set_enabled(previous)
+    snapshot = metrics.snapshot()
+    phases = phases_from_snapshot(snapshot)
+    meta = {
+        "experiment": result.experiment,
+        "spec_hash": result.spec_hash,
+        "scale": args.scale,
+        "seed": args.seed,
+        "backend": result.meta.get("backend"),
+        "started_at": result.meta.get("started_at"),
+        "duration_s": result.meta.get("duration_s"),
+    }
+    if args.events:
+        write_events_jsonl(args.events, run_events(
+            snapshot,
+            run_id=result.spec_hash,
+            started_at=result.meta.get("started_at"),
+            duration_s=result.meta.get("duration_s"),
+            meta={"experiment": result.experiment},
+        ))
+    if args.prom:
+        write_prometheus(args.prom, snapshot)
+    if args.json:
+        print(json.dumps(
+            {**meta, "phases": phases, "snapshot": snapshot},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"== profile {result.experiment} [{result.spec_hash}] "
+          f"scale={args.scale} seed={args.seed} "
+          f"backend={meta['backend']} — {meta['duration_s']:.2f}s")
+    print(phase_table(snapshot))
+    if phases:
+        print("phase split (disjoint leaves):")
+        _print_scalars(phases)
+    scalars = {
+        **{f"counter {k}": v for k, v in snapshot["counters"].items()},
+        **{f"gauge {k}": v for k, v in snapshot["gauges"].items()},
+    }
+    if scalars:
+        print("metrics:")
+        _print_scalars(scalars)
+    if args.events:
+        print(f"events: {args.events}")
+    if args.prom:
+        print(f"prometheus: {args.prom}")
     return 0
 
 
@@ -351,6 +485,11 @@ def _cmd_train(args) -> int:
         if args.episodes_per_round is not None:
             changes["episodes_per_round"] = args.episodes_per_round
         config = replace(config, **changes)
+    from repro.obs import get_registry, phase_table, set_enabled
+    from repro.obs.metrics import diff_snapshots
+
+    previous_telemetry = set_enabled(True) if args.telemetry else None
+    metrics_before = get_registry().snapshot() if args.telemetry else None
     try:
         summary = train_policies(
             scale=resolve_scale(args.scale),
@@ -362,10 +501,17 @@ def _cmd_train(args) -> int:
         )
     finally:
         runner.close()
+        if previous_telemetry is not None:
+            set_enabled(previous_telemetry)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         _print_fault_summary(summary.get("fault_log"), indent="")
+        if metrics_before is not None:
+            print("phases:")
+            print(phase_table(
+                diff_snapshots(metrics_before, get_registry().snapshot())
+            ))
     return 0
 
 
@@ -403,6 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "report": _cmd_report,
+        "profile": _cmd_profile,
         "train": _cmd_train,
         "quarantine": _cmd_quarantine,
     }

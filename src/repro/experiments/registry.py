@@ -23,12 +23,19 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.engine.report import environment_fingerprint, git_revision
+from repro.engine.report import (
+    environment_fingerprint,
+    git_revision,
+    phases_from_snapshot,
+    utc_now_iso,
+)
 from repro.engine.runner import BatchRunner
 from repro.experiments.common import ExperimentContext, checkpoint_fingerprint
 from repro.experiments.results import ArtifactStore, ResultSet, RESULTSET_FORMAT_VERSION
 from repro.experiments.spec import ExperimentSpec
 from repro.faults.log import merge_counter_dicts
+from repro.obs.metrics import diff_snapshots, get_registry
+from repro.obs.trace import TRACE
 from repro.utils.validation import require
 
 #: Modules whose import populates the registry (figure functions register
@@ -275,6 +282,9 @@ def run(
         store.fault_log.snapshot() if store is not None else None
     )
 
+    metrics_before = get_registry().snapshot() if TRACE.enabled else None
+
+    started_at = utc_now_iso()
     started = time.perf_counter()
     data = defn.fn(context, **params)
     wall_time_s = time.perf_counter() - started
@@ -296,6 +306,8 @@ def run(
             "scale": spec.scale,
             "seed": spec.seed,
             "backend": context.runner.backend,
+            "started_at": started_at,
+            "duration_s": round(wall_time_s, 6),
             "wall_time_s": round(wall_time_s, 6),
             "git_revision": git_revision(),
             "environment": environment_fingerprint(),
@@ -303,6 +315,16 @@ def run(
             "fault_log": merge_counter_dicts(*fault_deltas),
         },
     )
+    if metrics_before is not None:
+        # Fold this run's fault deltas into the registry, then stamp the
+        # phase breakdown of everything the span tracer saw during the run.
+        context.runner.fault_log.publish_metrics()
+        if store is not None:
+            store.fault_log.publish_metrics()
+        run_metrics = diff_snapshots(metrics_before, get_registry().snapshot())
+        phases = phases_from_snapshot(run_metrics)
+        if phases:
+            result.meta["phases"] = phases
     if store is not None and defn.cacheable:
         store.save(result)
     return result

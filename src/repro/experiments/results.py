@@ -48,6 +48,8 @@ from repro.faults.integrity import (
     verify_checksum,
 )
 from repro.faults.log import FaultLog
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACE, trace_span
 from repro.utils.validation import require
 
 #: Bump when the on-disk layout changes incompatibly; loaders refuse newer
@@ -183,6 +185,14 @@ class CellCache:
         """
         if self.directory is None or not self.read:
             return None
+        with trace_span("cells.get"):
+            value = self._get_verified(key)
+        if TRACE.enabled:
+            name = "cells.hits" if value is not None else "cells.misses"
+            get_registry().counter(name).inc()
+        return value
+
+    def _get_verified(self, key: str) -> Optional[object]:
         path = self._path(key)
         if not path.exists():
             self.misses += 1
@@ -213,11 +223,12 @@ class CellCache:
         embedded checksum so later corruption cannot pass as the value)."""
         if self.directory is None or not self.write:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = attach_checksum({"key": key, "value": value})
-        atomic_write_text(
-            self._path(key), json.dumps(payload, sort_keys=True)
-        )
+        with trace_span("cells.put"):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = attach_checksum({"key": key, "value": value})
+            atomic_write_text(
+                self._path(key), json.dumps(payload, sort_keys=True)
+            )
 
 
 def _safe_name(name: str) -> str:
@@ -295,7 +306,8 @@ class ArtifactStore:
         path = self.path_for(spec) / _RESULT_FILE
         if not path.exists():
             return None
-        payload = self._read_payload(path)
+        with trace_span("artifact.load"):
+            payload = self._read_payload(path)
         if payload is None:
             return None
         result = ResultSet.from_payload(payload)
@@ -316,25 +328,26 @@ class ArtifactStore:
         either the previous artifact or the new one — never a truncated
         file ``entries()``/``find()`` would then choke on.
         """
-        directory = self.path_for(result.spec)
-        directory.mkdir(parents=True, exist_ok=True)
-        payload = attach_checksum(result.to_payload())
-        atomic_write_text(
-            directory / _RESULT_FILE,
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        )
-        rows = result.summary_rows()
-        if rows:
-            columns: List[str] = []
-            for row in rows:
-                for key in row:
-                    if key not in columns:
-                        columns.append(key)
-            buffer = io.StringIO()
-            writer = csv.DictWriter(buffer, fieldnames=columns)
-            writer.writeheader()
-            writer.writerows(rows)
-            atomic_write_text(directory / _CSV_FILE, buffer.getvalue())
+        with trace_span("artifact.save"):
+            directory = self.path_for(result.spec)
+            directory.mkdir(parents=True, exist_ok=True)
+            payload = attach_checksum(result.to_payload())
+            atomic_write_text(
+                directory / _RESULT_FILE,
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+            rows = result.summary_rows()
+            if rows:
+                columns: List[str] = []
+                for row in rows:
+                    for key in row:
+                        if key not in columns:
+                            columns.append(key)
+                buffer = io.StringIO()
+                writer = csv.DictWriter(buffer, fieldnames=columns)
+                writer.writeheader()
+                writer.writerows(rows)
+                atomic_write_text(directory / _CSV_FILE, buffer.getvalue())
         return directory
 
     # ----------------------------------------------------------------- query

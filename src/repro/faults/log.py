@@ -85,6 +85,11 @@ class FaultLog:
     quarantined: int = 0
     wall_clock_lost_s: float = 0.0
     events: List[str] = field(default_factory=list)
+    #: Counter values already pushed to a metrics registry by
+    #: :meth:`publish_metrics` (so repeated publishes emit deltas only).
+    _published: Dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------- recording
 
@@ -129,6 +134,40 @@ class FaultLog:
             )
             for key, value in now.items()
         }
+
+    # ------------------------------------------------------------- telemetry
+
+    def publish_metrics(self, registry=None, prefix: str = "faults") -> None:
+        """Fold this log's counters into a metrics registry.
+
+        Emits one ``<prefix>.<counter>`` counter per fault kind plus a
+        ``<prefix>.wall_clock_lost_s`` latency histogram observation of
+        the wall clock lost since the previous publish.  Incremental:
+        only the deltas accumulated since the last :meth:`publish_metrics`
+        call are pushed, so publishing after every run (as the experiment
+        registry does) keeps registry totals equal to log totals without
+        double-counting.  ``registry`` defaults to the active one.
+        """
+        # Lazy import: repro.obs must stay importable from everywhere,
+        # including this module's importers, without a cycle.
+        from repro.obs.metrics import (
+            DEFAULT_LATENCY_BUCKETS_S,
+            get_registry,
+        )
+
+        if registry is None:
+            registry = get_registry()
+        delta = self.since(self._published)
+        for name in COUNTER_FIELDS:
+            count = int(delta.get(name, 0))
+            if count:
+                registry.counter(f"{prefix}.{name}").inc(count)
+        lost = float(delta.get("wall_clock_lost_s", 0.0))
+        if lost > 0.0:
+            registry.histogram(
+                f"{prefix}.wall_clock_lost_s", DEFAULT_LATENCY_BUCKETS_S
+            ).observe(lost)
+        self._published = self.counters()
 
 
 def merge_counter_dicts(*deltas: Dict[str, float]) -> Dict[str, float]:

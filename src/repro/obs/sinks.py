@@ -1,0 +1,207 @@
+"""Telemetry sinks: JSONL event logs, Prometheus textfiles, phase tables.
+
+Everything here consumes the plain-dict snapshot format of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` — sinks never touch a
+live registry, so writing a run's telemetry out cannot perturb what later
+phases record.
+
+Three formats:
+
+* :func:`run_events` / :func:`write_events_jsonl` — one structured JSONL
+  event log per run: a ``run_started`` header, one ``phase`` event per
+  span name, one ``metric`` event per counter/gauge, the full
+  ``metrics_snapshot`` and a ``run_finished`` trailer.  Greppable,
+  line-parseable, append-friendly.
+* :func:`to_prometheus` / :func:`write_prometheus` — the node-exporter
+  *textfile collector* dialect: ``# TYPE`` headers, cumulative
+  ``_bucket{le="..."}`` histogram series, spans exported as
+  ``<prefix>span_seconds_total{span="..."}`` / ``..._count`` / ``..._max``.
+* :func:`phase_table` — the human view ``python -m repro profile`` and
+  ``python -m repro report`` print: spans sorted by total time with their
+  share of the root dispatch span.
+
+Files are written atomically (write-tmp-then-rename) with plain stdlib
+calls: telemetry is advisory, so it deliberately does not pull in the
+checksum/quarantine machinery of :mod:`repro.faults.integrity` (which
+would also make :mod:`repro.obs` depend on the faults layer it measures).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: The canonical root span: one per BatchRunner.run_orders call.  Phase
+#: shares in tables and reports are computed against this span's total.
+ROOT_SPAN = "engine.dispatch"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------- JSONL log
+
+def run_events(
+    snapshot: Dict[str, object],
+    run_id: str,
+    started_at: Optional[str] = None,
+    duration_s: Optional[float] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """The structured event list for one run, ready for JSONL export."""
+    events: List[Dict[str, object]] = [{
+        "event": "run_started",
+        "run": run_id,
+        "started_at": started_at,
+        **(meta or {}),
+    }]
+    spans = snapshot.get("spans", {})
+    root_total = spans.get(ROOT_SPAN, {}).get("total_s")
+    for name in sorted(spans):
+        payload = spans[name]
+        event: Dict[str, object] = {
+            "event": "phase",
+            "run": run_id,
+            "name": name,
+            "count": payload["count"],
+            "total_s": round(payload["total_s"], 6),
+            "max_s": round(payload["max_s"], 6),
+        }
+        if root_total:
+            event["share_of_dispatch"] = round(
+                payload["total_s"] / root_total, 4
+            )
+        events.append(event)
+    for kind in ("counters", "gauges"):
+        for name, value in sorted(snapshot.get(kind, {}).items()):
+            events.append({
+                "event": "metric",
+                "run": run_id,
+                "kind": kind[:-1],
+                "name": name,
+                "value": value,
+            })
+    events.append({
+        "event": "metrics_snapshot", "run": run_id, "snapshot": snapshot,
+    })
+    events.append({
+        "event": "run_finished",
+        "run": run_id,
+        "duration_s": duration_s,
+    })
+    return events
+
+
+def write_events_jsonl(
+    path: Union[str, Path], events: List[Dict[str, object]]
+) -> Path:
+    """Write events as one JSON object per line (atomically)."""
+    lines = "".join(
+        json.dumps(event, sort_keys=True) + "\n" for event in events
+    )
+    return _atomic_write_text(path, lines)
+
+
+# ----------------------------------------------------- Prometheus textfile
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_RE.sub("_", name)
+
+
+def to_prometheus(snapshot: Dict[str, object], prefix: str = "repro_") -> str:
+    """Render a snapshot in the Prometheus textfile-collector dialect."""
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["buckets"], payload["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {payload["count"]}')
+        lines.append(f"{metric}_sum {payload['sum']:g}")
+        lines.append(f"{metric}_count {payload['count']}")
+    spans = snapshot.get("spans", {})
+    if spans:
+        seconds = prefix + "span_seconds_total"
+        count = prefix + "span_count"
+        longest = prefix + "span_max_seconds"
+        lines.append(f"# TYPE {seconds} counter")
+        lines.append(f"# TYPE {count} counter")
+        lines.append(f"# TYPE {longest} gauge")
+        for name in sorted(spans):
+            payload = spans[name]
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'{seconds}{{span="{label}"}} {payload["total_s"]:.9f}'
+            )
+            lines.append(f'{count}{{span="{label}"}} {payload["count"]}')
+            lines.append(
+                f'{longest}{{span="{label}"}} {payload["max_s"]:.9f}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: Union[str, Path], snapshot: Dict[str, object],
+    prefix: str = "repro_",
+) -> Path:
+    """Write the Prometheus textfile export (atomically)."""
+    return _atomic_write_text(path, to_prometheus(snapshot, prefix=prefix))
+
+
+# -------------------------------------------------------------- phase table
+
+def phase_table(
+    snapshot: Dict[str, object], root: str = ROOT_SPAN, indent: str = "  ",
+) -> str:
+    """A human-readable phase breakdown of a snapshot's spans.
+
+    Spans sorted by total seconds (descending) with count, total, max and —
+    when the root span is present — the share of the root's wall clock.
+    Shares are *inclusive* (nested spans overlap their parents), so they do
+    not sum to 100%; the disjoint-leaf arithmetic lives in
+    :func:`repro.engine.report.phases_from_snapshot`.
+    """
+    spans = snapshot.get("spans", {})
+    if not spans:
+        return f"{indent}(no spans recorded — telemetry off?)"
+    root_total = spans.get(root, {}).get("total_s", 0.0)
+    header = (
+        f"{indent}{'phase':28s} {'count':>8s} {'total s':>10s} "
+        f"{'max ms':>9s} {'% dispatch':>10s}"
+    )
+    rows = [header]
+    ordered = sorted(
+        spans.items(), key=lambda item: item[1]["total_s"], reverse=True
+    )
+    for name, payload in ordered:
+        share = (
+            f"{100.0 * payload['total_s'] / root_total:9.1f}%"
+            if root_total > 0 else f"{'-':>10s}"
+        )
+        rows.append(
+            f"{indent}{name:28s} {payload['count']:8d} "
+            f"{payload['total_s']:10.4f} {1e3 * payload['max_s']:9.3f} "
+            f"{share}"
+        )
+    return "\n".join(rows)

@@ -38,11 +38,13 @@ materialised into the seed's :class:`~repro.player.events.DownloadRecord` /
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.precompute import HistoryMatrix
+from repro.obs.trace import TRACE, record_span
 from repro.player.events import (
     STALL_PROACTIVE,
     STALL_REBUFFER,
@@ -232,6 +234,11 @@ class ShardState:
         ``rows`` must be exactly :attr:`live_rows` (ascending); ``levels``
         and ``proactive_stall_s`` align with it.
         """
+        # Manual span timing (hot path, no context-manager allocation);
+        # single exit at the bottom of the method, so no try/finally.
+        if TRACE.enabled:
+            _span_t0 = perf_counter()
+
         chunk = self.step_index
         levels = np.minimum(
             np.maximum(levels, 0), self.num_levels[rows] - 1
@@ -303,6 +310,9 @@ class ShardState:
         self.throughput_history.push_column(rows, throughput)
         self.download_time_history.push_column(rows, downloads)
         self.step_index = chunk + 1
+
+        if TRACE.enabled:
+            record_span("player.step", perf_counter() - _span_t0)
 
     def _advance_playback_batch(
         self, rows: np.ndarray, elapsed_s: np.ndarray

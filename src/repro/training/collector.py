@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.abr.pensieve import PensieveABR, PensieveConfig
 from repro.engine.runner import BatchRunner
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.obs.trace import TRACE, trace_span
 from repro.training.curriculum import EpisodeSpec
 from repro.utils.validation import require
 
@@ -188,8 +190,17 @@ class RolloutCollector:
             )
             for start in range(0, len(specs), self.shard_size)
         ]
-        per_shard = self.runner.map_ordered(collect_shard, shards)
-        merged: List[EpisodeRollout] = []
-        for rollouts in per_shard:
-            merged.extend(rollouts)
+        with trace_span("training.collect"):
+            per_shard = self.runner.map_ordered(collect_shard, shards)
+            merged: List[EpisodeRollout] = []
+            for rollouts in per_shard:
+                merged.extend(rollouts)
+        if TRACE.enabled:
+            registry = get_registry()
+            registry.counter("training.episodes_collected").inc(len(merged))
+            steps = registry.histogram(
+                "training.episode_steps", DEFAULT_SIZE_BUCKETS
+            )
+            for rollout in merged:
+                steps.observe(float(rollout.num_steps))
         return merged

@@ -9,9 +9,25 @@ from repro.engine.report import (
     BenchReport,
     environment_fingerprint,
     git_revision,
+    phases_from_snapshot,
     read_bench_report,
+    utc_now_iso,
     write_bench_report,
 )
+
+
+def _snapshot_with_spans(dispatch=1.0, kernel=0.6, step=0.25):
+    return {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": {
+            "engine.dispatch": {"count": 1, "total_s": dispatch,
+                                "max_s": dispatch},
+            "planner.kernel": {"count": 10, "total_s": kernel, "max_s": 0.1},
+            "player.step": {"count": 20, "total_s": step, "max_s": 0.02},
+        },
+    }
 
 
 class TestBenchReport:
@@ -56,6 +72,64 @@ class TestBenchReport:
         assert json.loads(text) == json.loads(
             json.dumps(json.loads(text), sort_keys=True)
         )
+
+
+class TestPhasesFromSnapshot:
+    def test_splits_dispatch_into_disjoint_leaves(self):
+        phases = phases_from_snapshot(_snapshot_with_spans())
+        assert phases["dispatch_s"] == 1.0
+        assert phases["planner_kernel_s"] == 0.6
+        assert phases["stepping_s"] == 0.25
+        assert phases["other_s"] == 0.15
+        assert phases["planner_kernel_share"] == 0.6
+        assert phases["stepping_share"] == 0.25
+        assert phases["other_share"] == 0.15
+
+    def test_empty_snapshot_gives_no_phases(self):
+        assert phases_from_snapshot({"spans": {}}) == {}
+        assert phases_from_snapshot({}) == {}
+
+    def test_parallel_leaf_overshoot_clamps_other_at_zero(self):
+        # Process-backend worker spans accumulate in parallel wall clocks,
+        # so the leaf sum can exceed the parent dispatch; the remainder is
+        # clamped, never negative.
+        phases = phases_from_snapshot(
+            _snapshot_with_spans(dispatch=1.0, kernel=0.8, step=0.4)
+        )
+        assert phases["other_s"] == 0.0
+        assert phases["other_share"] == 0.0
+
+    def test_missing_leaves_count_as_zero(self):
+        snapshot = _snapshot_with_spans()
+        del snapshot["spans"]["planner.kernel"]
+        phases = phases_from_snapshot(snapshot)
+        assert phases["planner_kernel_s"] == 0.0
+        assert phases["other_s"] == 0.75
+
+    def test_phases_survive_bench_report_round_trip(self, tmp_path):
+        report = BenchReport(phases=phases_from_snapshot(_snapshot_with_spans()))
+        payload = read_bench_report(
+            write_bench_report(report, path=tmp_path / "b.json")
+        )
+        assert payload["phases"]["planner_kernel_share"] == 0.6
+
+    def test_started_at_stamped_by_default(self, tmp_path):
+        payload = read_bench_report(
+            write_bench_report(BenchReport(), path=tmp_path / "b.json")
+        )
+        assert payload["meta"]["started_at"]
+
+    def test_explicit_started_at_preserved(self, tmp_path):
+        report = BenchReport(meta={"started_at": "2026-01-01T00:00:00+00:00"})
+        payload = read_bench_report(
+            write_bench_report(report, path=tmp_path / "b.json")
+        )
+        assert payload["meta"]["started_at"] == "2026-01-01T00:00:00+00:00"
+
+    def test_utc_now_iso_shape(self):
+        stamp = utc_now_iso()
+        assert stamp.endswith("+00:00")
+        assert "T" in stamp
 
 
 class TestProvenanceHelpers:
