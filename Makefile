@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list profile
+.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list profile serve loadtest
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -51,6 +51,19 @@ list:
 figures:
 	$(PYTHON) -m repro run fig03 fig04 fig12a fig13 fig14 headline \
 	    --scale quick --backend auto --results results
+
+## The always-on decision service behind a JSON-lines TCP front-end
+## (docs/SERVICE.md): register/decide/evict/health ops, micro-batched onto
+## the lockstep planner kernel.
+serve:
+	$(PYTHON) -m repro serve --scale tiny --port 7788
+
+## Closed-loop multi-tenant load against an in-process service; writes
+## BENCH_service.json (decisions/sec, batch-size distribution, p50/p99
+## latency) and verifies online decisions ≡ offline lockstep sweeps.
+loadtest:
+	$(PYTHON) -m repro loadtest --scale tiny --no-shed --verify \
+	    --out BENCH_service.json
 
 ## RL training: curriculum -> checkpoints/ -> checkpoint-backed ABR grid.
 train:

@@ -429,20 +429,30 @@ class _PlanRequest:
     them — across ABR instances — into one kernel call and scatters the
     per-session results back through :meth:`scatter`.  Merging is
     bit-safe because the kernel is elementwise over the session axis.
+
+    A request carries its planner inputs either as *member indices* into
+    the shard's SoA matrices (the grid drivers' form: ``members`` plus the
+    shard passed to :func:`_execute_plan_requests`) or as *direct arrays*
+    (``sizes``/``quality``/``weights``/``chunk_duration``/
+    ``buffer_capacity``, the grid-free form :func:`plan_batch` builds from
+    standalone observations).  The kernel call is identical either way.
     """
 
     __slots__ = (
         "key", "start_level", "max_level_step", "bitrates", "stall_options",
         "quality_model", "members", "positions", "buffer_s", "last_levels",
         "scenario_tputs", "scenario_probs", "use_weights", "need_rebuffer",
-        "levels_out", "scores_out", "rebuffer_out",
+        "levels_out", "scores_out", "rebuffer_out", "stalls_out",
+        "sizes", "quality", "weights", "chunk_duration", "buffer_capacity",
     )
 
     def __init__(
         self, *, key, start_level, max_level_step, bitrates, stall_options,
         quality_model, members, positions, buffer_s, last_levels,
         scenario_tputs, scenario_probs, use_weights, need_rebuffer,
-        levels_out, scores_out, rebuffer_out,
+        levels_out, scores_out, rebuffer_out, stalls_out=None,
+        sizes=None, quality=None, weights=None, chunk_duration=None,
+        buffer_capacity=None,
     ) -> None:
         self.key = key
         self.start_level = start_level
@@ -461,9 +471,17 @@ class _PlanRequest:
         self.levels_out = levels_out
         self.scores_out = scores_out
         self.rebuffer_out = rebuffer_out
+        self.stalls_out = stalls_out
+        self.sizes = sizes
+        self.quality = quality
+        self.weights = weights
+        self.chunk_duration = chunk_duration
+        self.buffer_capacity = buffer_capacity
 
-    def scatter(self, levels, scores, rebuffer) -> None:
+    def scatter(self, levels, stalls, scores, rebuffer) -> None:
         self.levels_out[self.positions] = levels
+        if self.stalls_out is not None:
+            self.stalls_out[self.positions] = stalls
         if self.scores_out is not None:
             self.scores_out[self.positions] = scores
         if self.rebuffer_out is not None:
@@ -484,7 +502,7 @@ def _uniform_weights(num_sessions: int, horizon: int) -> np.ndarray:
 
 
 def _execute_plan_requests(
-    requests: List[_PlanRequest], shard: ShardState
+    requests: List[_PlanRequest], shard: Optional[ShardState] = None
 ) -> None:
     """Run every pending plan request, merging compatible ones.
 
@@ -494,11 +512,16 @@ def _execute_plan_requests(
     per kernel call, the cache-friendliness cap).  Because the kernel is
     elementwise over the session axis, every session's outputs are bitwise
     those of evaluating its own request alone.
+
+    With ``shard`` the per-session planner inputs are sliced from the
+    shard's SoA matrices through each request's ``members``; without it
+    (the :func:`plan_batch` path) every request carries its inputs as
+    direct arrays.  Both forms feed the kernel identical values.
     """
     buckets: Dict[tuple, List[_PlanRequest]] = {}
     for request in requests:
         buckets.setdefault(request.key, []).append(request)
-    chunk = shard.step_index
+    chunk = shard.step_index if shard is not None else 0
     split_above = _PlannerDriverBase.SPLIT_ABOVE
     for bucket in buckets.values():
         first = bucket[0]
@@ -526,27 +549,54 @@ def _execute_plan_requests(
                 np.abs(candidates[None, :, 0] - last_levels[:, None])
                 <= first.max_level_step
             )
-        sizes = shard.sizes_all[members, chunk:chunk + horizon]
         # use_weights is part of the request key, so a bucket is uniformly
         # weighted or uniformly unweighted.
         use_weights = bucket[0].use_weights
         need_rebuffer = any(r.need_rebuffer for r in bucket)
-        quality = shard.quality_all[members, chunk:chunk + horizon]
-        if use_weights:
-            weights = shard.weights_all[members, chunk:chunk + horizon]
+        if shard is not None:
+            sizes = shard.sizes_all[members, chunk:chunk + horizon]
+            quality = shard.quality_all[members, chunk:chunk + horizon]
+            if use_weights:
+                weights = shard.weights_all[members, chunk:chunk + horizon]
+            else:
+                weights = _uniform_weights(members.size, horizon)
+            durations = (
+                shard.chunk_duration_shared
+                if shard.chunk_duration_shared is not None
+                else shard.chunk_duration[members]
+            )
+            capacity = shard.buffer_capacity
         else:
-            weights = _uniform_weights(members.size, horizon)
-        durations = (
-            shard.chunk_duration_shared
-            if shard.chunk_duration_shared is not None
-            else shard.chunk_duration[members]
-        )
+            if len(bucket) == 1:
+                sizes = first.sizes
+                quality = first.quality
+                direct_weights = first.weights
+                durations = first.chunk_duration
+                capacity = first.buffer_capacity
+            else:
+                sizes = np.concatenate([r.sizes for r in bucket])
+                quality = np.concatenate([r.quality for r in bucket])
+                direct_weights = (
+                    np.concatenate([r.weights for r in bucket])
+                    if use_weights else None
+                )
+                durations = np.concatenate(
+                    [r.chunk_duration for r in bucket]
+                )
+                capacity = np.concatenate(
+                    [r.buffer_capacity for r in bucket]
+                )
+            weights = (
+                direct_weights if use_weights
+                else _uniform_weights(members.size, horizon)
+            )
 
         count = members.size
         slice_size = count if split_above is None else min(count, split_above)
         slices = -(-count // slice_size)
         slice_size = -(-count // slices)
         levels = np.empty(count, dtype=int)
+        stalls = np.empty(count)
         scores = np.empty(count)
         rebuffer = np.empty(count)
         for start in range(0, count, slice_size):
@@ -567,7 +617,10 @@ def _execute_plan_requests(
                     durations if isinstance(durations, float)
                     else durations[start:stop]
                 ),
-                buffer_capacity_s=shard.buffer_capacity,
+                buffer_capacity_s=(
+                    capacity if isinstance(capacity, float)
+                    else capacity[start:stop]
+                ),
                 candidate_mask=(
                     None if candidate_mask is None
                     else candidate_mask[start:stop]
@@ -576,16 +629,217 @@ def _execute_plan_requests(
                 weights_uniform=not use_weights,
             )
             levels[start:stop] = batch.best_level
+            stalls[start:stop] = batch.best_stall_s
             scores[start:stop] = batch.best_score
             rebuffer[start:stop] = batch.expected_rebuffer_s
         offset = 0
         for r in bucket:
             stop = offset + r.members.size
             r.scatter(
-                levels[offset:stop], scores[offset:stop],
-                rebuffer[offset:stop],
+                levels[offset:stop], stalls[offset:stop],
+                scores[offset:stop], rebuffer[offset:stop],
             )
             offset = stop
+
+
+class PlanJob:
+    """One standalone planner evaluation for :func:`plan_batch`.
+
+    The grid-free counterpart of a shard driver's per-session planner
+    round: everything the kernel needs is taken from a single
+    :class:`~repro.abr.base.PlayerObservation` plus the scalar scenario
+    list the ABR's own predictor produced — exactly the inputs the serial
+    ``decide()`` hands :func:`~repro.abr.planner.evaluate_candidates`.
+    Jobs submitted together are merged by candidate-tree signature and
+    evaluated through the same coordinator as the lockstep grid path, so
+    each job's outputs are bitwise those of the serial evaluation.
+    """
+
+    __slots__ = (
+        "observation", "horizon", "scenario_tputs", "scenario_probs",
+        "quality_model", "stall_options", "max_level_step", "use_weights",
+        "need_rebuffer", "bitrates", "ladder_key", "coeff_key",
+    )
+
+    def __init__(
+        self,
+        *,
+        observation,
+        horizon: int,
+        scenarios: Sequence[Tuple[float, float]],
+        quality_model,
+        stall_options: Sequence[float] = (0.0,),
+        max_level_step: Optional[int] = None,
+        use_weights: bool = False,
+        need_rebuffer: bool = False,
+    ) -> None:
+        if not (1 <= horizon <= observation.horizon):
+            raise ValueError(
+                f"plan horizon {horizon} outside the observation's "
+                f"1..{observation.horizon}"
+            )
+        if not scenarios:
+            raise ValueError("need at least one throughput scenario")
+        self.observation = observation
+        self.horizon = int(horizon)
+        self.scenario_tputs = np.array(
+            [t for t, _ in scenarios], dtype=float
+        )
+        self.scenario_probs = np.array(
+            [p for _, p in scenarios], dtype=float
+        )
+        self.quality_model = quality_model
+        self.stall_options = tuple(float(s) for s in stall_options)
+        self.max_level_step = max_level_step
+        self.use_weights = bool(use_weights)
+        self.need_rebuffer = bool(need_rebuffer)
+        self.bitrates = np.asarray(
+            observation.ladder.bitrates_kbps, dtype=float
+        )
+        self.ladder_key = tuple(self.bitrates.tolist())
+        coeffs = quality_model.coefficients
+        self.coeff_key = (
+            coeffs.intercept, coeffs.quality_weight,
+            coeffs.rebuffer_weight, coeffs.switch_weight,
+        )
+
+
+class PlanResult:
+    """Per-job outcome of :func:`plan_batch` (the scalar fields a
+    ``decide()`` consumes, mirroring
+    :class:`~repro.abr.planner.PlanEvaluation`)."""
+
+    __slots__ = ("level", "proactive_stall_s", "score", "expected_rebuffer_s")
+
+    def __init__(self, level, proactive_stall_s, score, expected_rebuffer_s):
+        self.level = level
+        self.proactive_stall_s = proactive_stall_s
+        self.score = score
+        self.expected_rebuffer_s = expected_rebuffer_s
+
+
+def plan_batch(jobs: Sequence[PlanJob]) -> List[PlanResult]:
+    """Evaluate standalone planner jobs through the batched kernel.
+
+    The reusable, grid-free entry point onto the lockstep batch-planning
+    path: jobs are grouped by candidate-tree signature — (horizon, ladder,
+    previously-played level under the ``max_step`` restriction, stall
+    options, scenario count, quality coefficients, weights mode) — with
+    the same :attr:`_PlannerDriverBase.MERGE_BELOW` union-tree merging and
+    :attr:`_PlannerDriverBase.SPLIT_ABOVE` cache-friendliness slicing the
+    shard coordinator applies, then executed by
+    :func:`_execute_plan_requests` with direct per-job arrays instead of
+    shard SoA slices.  Because the kernel is elementwise over the session
+    axis, each job's result is bitwise equal to evaluating it alone — and
+    therefore to the serial ``decide()`` path, which routes through the
+    same kernel with a one-session stack.  This is what lets an online
+    decision service micro-batch requests from unrelated sessions without
+    perturbing any session's decisions.
+    """
+    if not jobs:
+        return []
+    count = len(jobs)
+    levels = np.zeros(count, dtype=int)
+    stalls = np.zeros(count)
+    scores = np.zeros(count)
+    rebuffer = np.zeros(count)
+    subtree: Dict[tuple, List[int]] = {}
+    for position, job in enumerate(jobs):
+        start = int(job.observation.last_level)
+        if job.max_level_step is None or start < 0:
+            start = -1  # one shared tree regardless of history
+        key = (
+            job.horizon, job.ladder_key, start, job.max_level_step,
+            job.stall_options, job.scenario_tputs.size, job.coeff_key,
+            job.use_weights,
+        )
+        subtree.setdefault(key, []).append(position)
+    groups: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
+    for key, positions in subtree.items():
+        if len(positions) >= _PlannerDriverBase.MERGE_BELOW:
+            start = key[2]
+            groups[key] = (start if start >= 0 else None, positions)
+        else:
+            merged_key = key[:2] + ("merged",) + key[3:]
+            entry = groups.setdefault(merged_key, (None, []))
+            entry[1].extend(positions)
+    requests: List[_PlanRequest] = []
+    for key, (start_level, positions) in groups.items():
+        group = [jobs[position] for position in positions]
+        first = group[0]
+        horizon = first.horizon
+        indices = np.asarray(positions, dtype=int)
+        requests.append(
+            _PlanRequest(
+                key=key,
+                start_level=start_level,
+                max_level_step=first.max_level_step,
+                bitrates=first.bitrates,
+                stall_options=first.stall_options,
+                quality_model=first.quality_model,
+                members=indices,
+                positions=indices,
+                buffer_s=np.array(
+                    [job.observation.buffer_s for job in group]
+                ),
+                last_levels=np.array(
+                    [int(job.observation.last_level) for job in group]
+                ),
+                scenario_tputs=np.stack(
+                    [job.scenario_tputs for job in group]
+                ),
+                scenario_probs=np.stack(
+                    [job.scenario_probs for job in group]
+                ),
+                use_weights=first.use_weights,
+                need_rebuffer=any(job.need_rebuffer for job in group),
+                levels_out=levels,
+                scores_out=scores,
+                rebuffer_out=rebuffer,
+                stalls_out=stalls,
+                sizes=np.stack(
+                    [
+                        job.observation.upcoming_sizes_bytes[:horizon]
+                        for job in group
+                    ]
+                ),
+                quality=np.stack(
+                    [
+                        job.observation.upcoming_quality[:horizon]
+                        for job in group
+                    ]
+                ),
+                weights=(
+                    np.stack(
+                        [
+                            np.asarray(
+                                job.observation.upcoming_weights,
+                                dtype=float,
+                            )[:horizon]
+                            for job in group
+                        ]
+                    )
+                    if first.use_weights else None
+                ),
+                chunk_duration=np.array(
+                    [job.observation.chunk_duration_s for job in group]
+                ),
+                buffer_capacity=np.array(
+                    [job.observation.buffer_capacity_s for job in group]
+                ),
+            )
+        )
+    with trace_span("engine.lockstep.plan"):
+        _execute_plan_requests(requests)
+    return [
+        PlanResult(
+            level=int(levels[index]),
+            proactive_stall_s=float(stalls[index]),
+            score=float(scores[index]),
+            expected_rebuffer_s=float(rebuffer[index]),
+        )
+        for index in range(count)
+    ]
 
 
 class _PlannerDriverBase:

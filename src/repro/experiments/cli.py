@@ -176,6 +176,53 @@ def _build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--json", action="store_true",
                              help="print phases + full snapshot as JSON")
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the always-on decision service (JSON-lines over TCP)",
+    )
+    serve_cmd.add_argument("--scale", default="tiny",
+                           help=f"scale preset ({', '.join(scale_names())}) "
+                                f"for the video/trace inventory")
+    serve_cmd.add_argument("--seed", type=int, default=7)
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7788)
+    serve_cmd.add_argument("--duration", type=float, default=None,
+                           metavar="S",
+                           help="shut down after S seconds (default: run "
+                                "until interrupted)")
+    _add_service_knobs(serve_cmd)
+
+    loadtest_cmd = sub.add_parser(
+        "loadtest",
+        help="drive the decision service closed-loop and write "
+             "BENCH_service.json",
+    )
+    loadtest_cmd.add_argument("--scale", default="tiny",
+                              help=f"scale preset "
+                                   f"({', '.join(scale_names())})")
+    loadtest_cmd.add_argument("--seed", type=int, default=7)
+    loadtest_cmd.add_argument("--sessions-per-tenant", type=int, default=4,
+                              metavar="N",
+                              help="sessions each tenant registers")
+    loadtest_cmd.add_argument("--weight-ratio", type=float, default=4.0,
+                              help="gold:bronze scheduling weight ratio")
+    loadtest_cmd.add_argument("--max-decisions", type=int, default=None,
+                              metavar="N",
+                              help="cap decisions per session (default: "
+                                   "run every session to completion)")
+    loadtest_cmd.add_argument("--duration", type=float, default=None,
+                              metavar="S", help="stop offering load after S "
+                                                "seconds")
+    loadtest_cmd.add_argument("--out", default="BENCH_service.json",
+                              metavar="PATH",
+                              help="where to write the benchmark report")
+    loadtest_cmd.add_argument("--verify", action="store_true",
+                              help="re-run finished sessions offline and "
+                                   "assert online ≡ offline decisions")
+    loadtest_cmd.add_argument("--json", action="store_true",
+                              help="print the full report as JSON")
+    _add_service_knobs(loadtest_cmd)
+
     quarantine_cmd = sub.add_parser(
         "quarantine", help="list files quarantined by integrity checks"
     )
@@ -205,6 +252,36 @@ def _add_fault_knobs(command: argparse.ArgumentParser) -> None:
     command.add_argument("--telemetry", action="store_true",
                          help="enable span tracing + metrics for this "
                               "invocation (adds a phase summary per run)")
+
+
+def _add_service_knobs(command: argparse.ArgumentParser) -> None:
+    """Decision-service tuning knobs shared by ``serve`` and ``loadtest``."""
+    command.add_argument("--max-batch", type=int, default=16,
+                         help="micro-batch window size trigger")
+    command.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch window time trigger (upper "
+                              "bound; the window adapts below it)")
+    command.add_argument("--capacity", type=int, default=None,
+                         help="fair-scheduler concurrency slots "
+                              "(default: max-batch)")
+    command.add_argument("--shed-timeout-ms", type=float, default=50.0,
+                         help="admission timeout before a request is shed "
+                              "to the degraded fallback")
+    command.add_argument("--no-shed", action="store_true",
+                         help="never shed: wait for admission indefinitely "
+                              "(required for --verify runs under overload)")
+
+
+def _make_service(args):
+    """A DecisionService configured from the shared service knobs."""
+    from repro.service import DecisionService
+
+    return DecisionService(
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        capacity=args.capacity,
+        shed_timeout_s=None if args.no_shed else args.shed_timeout_ms / 1e3,
+    )
 
 
 def _fault_knobs(args) -> Dict[str, object]:
@@ -515,6 +592,186 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """The always-on decision service behind a JSON-lines TCP front-end.
+
+    One JSON object per line in, one per line out.  Ops: ``register``
+    (tenant, session, abr, video, trace, optional weight), ``decide``,
+    ``evict``, ``health``.  The video/trace inventory is the experiment
+    context's at ``--scale``, and ABR kinds are the loadtest zoo
+    (:data:`repro.service.loadgen.ABR_FACTORIES`).
+    """
+    import asyncio
+    from dataclasses import asdict
+
+    from repro.experiments.common import ExperimentContext
+    from repro.experiments.spec import resolve_scale
+    from repro.service import ABR_FACTORIES
+    from repro.service.loadgen import synthetic_weights
+
+    context = ExperimentContext(scale=resolve_scale(args.scale),
+                                seed=args.seed)
+    videos = dict(zip(context.video_ids(), context.videos()))
+    traces = {trace.name: trace for trace in context.traces()}
+    service = _make_service(args)
+
+    async def handle_op(request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        if op == "health":
+            return {"ok": True, "health": service.health()}
+        tenant = str(request.get("tenant", ""))
+        session = str(request.get("session", ""))
+        if op == "register":
+            kind = str(request.get("abr", "fugu"))
+            if kind not in ABR_FACTORIES:
+                return {"ok": False,
+                        "error": f"unknown abr {kind!r}; "
+                                 f"one of {sorted(ABR_FACTORIES)}"}
+            video_id = str(request.get("video", next(iter(videos))))
+            if video_id not in videos:
+                return {"ok": False,
+                        "error": f"unknown video {video_id!r}; "
+                                 f"one of {sorted(videos)}"}
+            trace_name = str(request.get("trace", next(iter(traces))))
+            if trace_name not in traces:
+                return {"ok": False,
+                        "error": f"unknown trace {trace_name!r}; "
+                                 f"one of {sorted(traces)}"}
+            encoded = videos[video_id]
+            weights = (synthetic_weights(encoded.num_chunks)
+                       if kind == "sensei" else None)
+            weight = request.get("weight")
+            service.register(
+                tenant=tenant, session_id=session,
+                abr=ABR_FACTORIES[kind](), encoded=encoded,
+                trace=traces[trace_name], chunk_weights=weights,
+                weight=float(weight) if weight is not None else None,
+            )
+            return {"ok": True, "registered": [tenant, session],
+                    "abr": kind, "video": video_id, "trace": trace_name}
+        if op == "decide":
+            response = await service.decide(tenant, session)
+            return {"ok": True, **asdict(response)}
+        if op == "evict":
+            entry = service.evict(tenant, session)
+            return {"ok": True, "evicted": [tenant, session],
+                    "decisions": entry.decisions}
+        return {"ok": False, "error": f"unknown op {op!r}; one of "
+                                      f"register/decide/evict/health"}
+
+    async def handle_client(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    reply = await handle_op(request)
+                except Exception as error:  # noqa: BLE001 — reply, don't die
+                    reply = {"ok": False,
+                             "error": f"{type(error).__name__}: {error}"}
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def main_async() -> None:
+        server = await asyncio.start_server(handle_client, args.host,
+                                            args.port)
+        print(f"decision service on {args.host}:{args.port} "
+              f"(scale={args.scale}, max_batch={args.max_batch}, "
+              f"window<={args.max_delay_ms}ms) — JSON-lines ops: "
+              f"register/decide/evict/health")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    try:
+        asyncio.run(main_async())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    """Closed-loop multi-tenant load against an in-process service."""
+    import asyncio
+
+    from repro.experiments.common import ExperimentContext
+    from repro.experiments.spec import resolve_scale
+    from repro.service import (
+        bench_payload,
+        default_tenants,
+        register_load,
+        run_load,
+        verify_online_offline,
+        write_bench,
+    )
+
+    context = ExperimentContext(scale=resolve_scale(args.scale),
+                                seed=args.seed)
+    service = _make_service(args)
+    tenants = default_tenants(
+        sessions_per_tenant=args.sessions_per_tenant,
+        weight_ratio=args.weight_ratio,
+    )
+
+    async def main_async():
+        entries = register_load(service, context, tenants)
+        report = await run_load(
+            service, entries,
+            max_decisions_per_session=args.max_decisions,
+            duration_s=args.duration,
+        )
+        verdict = (
+            verify_online_offline(service, entries) if args.verify else None
+        )
+        await service.close()
+        return report, verdict
+
+    report, verdict = asyncio.run(main_async())
+    payload = bench_payload(service, report, tenants, meta={
+        "scale": args.scale, "seed": args.seed,
+    })
+    if verdict is not None:
+        payload["verify"] = verdict
+    path = write_bench(args.out, payload)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        latency = payload["latency"]
+        batch = payload["batch"]
+        throughput = payload["throughput"]
+        print(f"== loadtest scale={args.scale} "
+              f"tenants={[spec.name for spec in tenants]} "
+              f"sessions={report['sessions']}")
+        print(f"  decisions: {throughput['decisions']} "
+              f"({throughput['decisions_per_sec']:.0f}/s, "
+              f"{throughput['degraded']} degraded) "
+              f"in {throughput['wall_s']:.2f}s")
+        print(f"  latency: p50={latency['p50_ms']:.3f}ms "
+              f"p99={latency['p99_ms']:.3f}ms mean={latency['mean_ms']:.3f}ms")
+        print(f"  batches: {batch['flushes']} flushes, "
+              f"mean size {batch['mean_size']}, "
+              f"{batch['size_flushes']} by size / "
+              f"{batch['timer_flushes']} by timer")
+        if verdict is not None:
+            status = "identical" if verdict["identical"] else "MISMATCH"
+            print(f"  verify: online ≡ offline over {verdict['checked']} "
+                  f"sessions — {status}")
+        print(f"  report: {path}")
+    if verdict is not None and not verdict["identical"]:
+        return 1
+    return 0
+
+
 def _cmd_quarantine(args) -> int:
     from pathlib import Path
 
@@ -551,6 +808,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "profile": _cmd_profile,
         "train": _cmd_train,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
         "quarantine": _cmd_quarantine,
     }
     return handlers[args.command](args)

@@ -22,6 +22,7 @@ without cycles.
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_MICRO_LATENCY_BUCKETS_S,
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
     diff_snapshots,
@@ -48,6 +49,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_MICRO_LATENCY_BUCKETS_S",
     "DEFAULT_SIZE_BUCKETS",
     "MetricsRegistry",
     "ROOT_SPAN",

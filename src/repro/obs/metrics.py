@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_MICRO_LATENCY_BUCKETS_S",
     "DEFAULT_SIZE_BUCKETS",
     "Counter",
     "Gauge",
@@ -53,6 +54,15 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Bucket bounds for sub-millisecond request latencies (the decision
+#: service's p50 lives in the tens of microseconds once batching warms
+#: up).  The phase-scale :data:`DEFAULT_LATENCY_BUCKETS_S` would dump the
+#: whole distribution into its first two buckets.
+DEFAULT_MICRO_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
 )
 
 #: Default size/duration bucket bounds for non-latency quantities
@@ -163,12 +173,26 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
+        """The histogram for ``name``, created on first use.
+
+        ``buckets`` sets per-metric bounds at creation; re-requesting an
+        existing histogram with *different* explicit bounds is a bucket
+        mismatch and raises (``buckets=None`` always accepts whatever the
+        histogram was created with).
+        """
         found = self._histograms.get(name)
         if found is None:
             found = self._histograms[name] = Histogram(
                 name, buckets if buckets is not None
                 else DEFAULT_LATENCY_BUCKETS_S,
             )
+        elif buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if bounds != found.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: registered with "
+                    f"{found.buckets}, requested {bounds}"
+                )
         return found
 
     def record_span(self, name: str, seconds: float) -> None:

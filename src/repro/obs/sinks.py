@@ -119,20 +119,42 @@ def _prom_name(name: str, prefix: str) -> str:
     return prefix + _NAME_RE.sub("_", name)
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` payload: backslash and newline, per the
+    exposition-format spec."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _header(lines: List[str], metric: str, kind: str, source: str) -> None:
+    """The ``# HELP`` + ``# TYPE`` pair standard scrapers expect."""
+    lines.append(
+        f"# HELP {metric} "
+        f"{_escape_help(f'{kind} {source} from the repro metrics registry.')}"
+    )
+    lines.append(f"# TYPE {metric} {kind}")
+
+
 def to_prometheus(snapshot: Dict[str, object], prefix: str = "repro_") -> str:
     """Render a snapshot in the Prometheus textfile-collector dialect."""
     lines: List[str] = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
         metric = _prom_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {metric} counter")
+        _header(lines, metric, "counter", name)
         lines.append(f"{metric} {value:g}")
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         metric = _prom_name(name, prefix)
-        lines.append(f"# TYPE {metric} gauge")
+        _header(lines, metric, "gauge", name)
         lines.append(f"{metric} {value:g}")
     for name, payload in sorted(snapshot.get("histograms", {}).items()):
         metric = _prom_name(name, prefix)
-        lines.append(f"# TYPE {metric} histogram")
+        _header(lines, metric, "histogram", name)
         cumulative = 0
         for bound, count in zip(payload["buckets"], payload["counts"]):
             cumulative += count
@@ -145,12 +167,12 @@ def to_prometheus(snapshot: Dict[str, object], prefix: str = "repro_") -> str:
         seconds = prefix + "span_seconds_total"
         count = prefix + "span_count"
         longest = prefix + "span_max_seconds"
-        lines.append(f"# TYPE {seconds} counter")
-        lines.append(f"# TYPE {count} counter")
-        lines.append(f"# TYPE {longest} gauge")
+        _header(lines, seconds, "counter", "span total seconds")
+        _header(lines, count, "counter", "span completions")
+        _header(lines, longest, "gauge", "span max seconds")
         for name in sorted(spans):
             payload = spans[name]
-            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            label = _escape_label_value(name)
             lines.append(
                 f'{seconds}{{span="{label}"}} {payload["total_s"]:.9f}'
             )

@@ -1,0 +1,183 @@
+"""Adaptive micro-batching window for the decision service.
+
+:class:`AdaptiveBatcher` collects ``submit()`` calls into a window and
+flushes on whichever trips first:
+
+* **size** — the window reaches ``max_batch`` items, or
+* **time** — ``effective delay`` elapses since the first item of the
+  window (``loop.call_later`` timer armed on the first submit).
+
+Every item of a flush is answered from one call to ``flush_fn(items)``,
+which is exactly what lets the service batch many sessions' planner
+evaluations into one lockstep kernel dispatch.
+
+The *adaptive* part is the time bound: the delay scales with an EWMA of
+recent flush sizes, between ``min_delay_s`` and ``max_delay_s``.  Under
+light load the window barely fills, so waiting the full ``max_delay_s``
+only adds latency for no batching gain — the EWMA shrinks the delay
+toward ``min_delay_s``.  Under heavy load windows fill quickly (the size
+trigger dominates) and the longer bound lets stragglers coalesce.  Tuning
+guidance lives in docs/SERVICE.md.
+
+Single-loop asyncio, no threads: ``flush_fn`` runs synchronously on the
+event loop (a planner flush is a few hundred microseconds of numpy), and
+window state is only touched between awaits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["AdaptiveBatcher"]
+
+
+class AdaptiveBatcher:
+    """Collects items and answers them in flushes of at most ``max_batch``."""
+
+    def __init__(
+        self,
+        flush_fn: Callable[[List[object]], Sequence[object]],
+        max_batch: int = 16,
+        max_delay_s: float = 0.002,
+        min_delay_s: Optional[float] = None,
+        ewma_alpha: float = 0.25,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s <= 0:
+            raise ValueError("max_delay_s must be > 0")
+        if min_delay_s is None:
+            min_delay_s = max_delay_s / 8.0
+        if not 0.0 < min_delay_s <= max_delay_s:
+            raise ValueError("need 0 < min_delay_s <= max_delay_s")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.flush_fn = flush_fn
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.min_delay_s = min_delay_s
+        self.ewma_alpha = ewma_alpha
+        self._window: List[Tuple[object, "asyncio.Future[object]"]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        #: Bumped on every flush; a pending timer that belongs to an
+        #: already-flushed window sees a different generation and no-ops
+        #: (flush-at-N vs flush-at-T race safety).
+        self._generation = 0
+        self._draining = False
+        #: EWMA of flush sizes, seeded at the size trigger so the first
+        #: windows run at ``max_delay_s`` until real load data arrives.
+        self.ewma_size = float(max_batch)
+        self.flush_count = 0
+        self.size_flushes = 0
+        self.timer_flushes = 0
+        self.items_flushed = 0
+
+    # ------------------------------------------------------------------ API
+
+    async def submit(self, item: object) -> object:
+        """Queue ``item`` for the next flush and await its result."""
+        if self._draining:
+            raise RuntimeError("batcher is draining; no new submissions")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[object]" = loop.create_future()
+        self._window.append((item, future))
+        if len(self._window) >= self.max_batch:
+            self._flush("size")
+        elif self._timer is None:
+            generation = self._generation
+            self._timer = loop.call_later(
+                self.effective_delay_s(),
+                self._on_timer,
+                generation,
+            )
+        return await future
+
+    async def drain(self) -> None:
+        """Flush whatever is pending and refuse further submissions.
+
+        Idempotent; after ``drain`` the batcher is permanently closed.
+        Futures already handed out by :meth:`submit` are answered by the
+        final flush, so in-flight ``decide`` calls complete normally.
+        """
+        self._draining = True
+        if self._window:
+            self._flush("drain")
+        # Yield once so awaiters scheduled by the final flush run before
+        # the caller proceeds with teardown.
+        await asyncio.sleep(0)
+
+    def effective_delay_s(self) -> float:
+        """The current time bound: EWMA-scaled between min and max delay."""
+        fill = min(1.0, self.ewma_size / self.max_batch)
+        return self.min_delay_s + (self.max_delay_s - self.min_delay_s) * fill
+
+    @property
+    def pending(self) -> int:
+        """Items in the open window (not yet flushed)."""
+        return len(self._window)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "flushes": self.flush_count,
+            "size_flushes": self.size_flushes,
+            "timer_flushes": self.timer_flushes,
+            "items": self.items_flushed,
+            "ewma_size": round(self.ewma_size, 3),
+            "effective_delay_s": self.effective_delay_s(),
+            "pending": len(self._window),
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _on_timer(self, generation: int) -> None:
+        self._timer = None
+        # A size-triggered flush may have consumed this window between the
+        # timer being armed and firing; the generation check makes that
+        # (and the empty-window case) a no-op instead of a double flush.
+        if generation != self._generation or not self._window:
+            return
+        self._flush("timer")
+
+    def _flush(self, trigger: str) -> None:
+        window, self._window = self._window, []
+        self._generation += 1
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not window:
+            return
+        self.flush_count += 1
+        self.items_flushed += len(window)
+        if trigger == "size":
+            self.size_flushes += 1
+        elif trigger == "timer":
+            self.timer_flushes += 1
+        alpha = self.ewma_alpha
+        self.ewma_size = (1 - alpha) * self.ewma_size + alpha * len(window)
+        items = [item for item, _ in window]
+        try:
+            results = self.flush_fn(items)
+        except BaseException as error:  # noqa: BLE001 — fail every waiter
+            for _, future in window:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        if len(results) != len(window):
+            error = RuntimeError(
+                f"flush_fn returned {len(results)} results for "
+                f"{len(window)} items"
+            )
+            for _, future in window:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(window, results):
+            if future.done():
+                continue
+            # Per-item failures travel back as exception instances so one
+            # bad session cannot poison its whole flush.
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)

@@ -1,0 +1,169 @@
+"""Batched online decisions, bit-identical to the serial ABR paths.
+
+:func:`decide_batch` answers one micro-batch flush: every planner-eligible
+request (MPC / Fugu / SENSEI-Fugu with their stock predictors — the same
+exact-type test as the lockstep engine's ``_driver_for``) contributes a
+:class:`~repro.engine.lockstep.PlanJob` to one
+:func:`~repro.engine.lockstep.plan_batch` call, which merges jobs by
+candidate-tree signature and dispatches the shared
+``evaluate_candidates_batch`` kernel.  Everything else falls back to the
+clone's own ``decide`` — still exact, just not batched.
+
+Bit-identity invariants, each load-bearing:
+
+* Predictor calls happen on the session's clone, in request order, with
+  the same observation the serial path would see — ``predict`` /
+  ``predict_distribution`` run **exactly once per decision** (the error
+  distribution predictor is stateful).
+* Scenario construction replicates the serial ``decide`` bodies
+  verbatim: MPC's single conservative scenario
+  ``predicted / (1 + robustness_discount)``; Fugu's full distribution.
+* SENSEI-Fugu's two-phase shape is replicated: phase 1 evaluates with
+  ``stall_options=(0.0,)`` and weights; the stall gate (risk threshold,
+  buffer floor, 5% weight-shift test, remaining proactive budget) decides
+  which sessions get a phase-2 evaluation over the affordable stall
+  options; phase 2's plan is adopted only when its score is *strictly*
+  better.  Both phases are themselves batched ``plan_batch`` calls.
+* The kernel guarantees the rest: ``evaluate_candidates_batch`` is
+  elementwise over the batch axis, so co-scheduling any mix of sessions
+  cannot change any single session's floats (docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, Decision, PlayerObservation
+from repro.engine.lockstep import PlanJob, plan_batch
+from repro.service.sessions import (
+    KIND_GENERIC,
+    KIND_MPC,
+    KIND_SENSEI,
+)
+
+__all__ = ["decide_batch"]
+
+
+def decide_batch(
+    requests: Sequence[Tuple[ABRAlgorithm, str, PlayerObservation]],
+) -> List[Decision]:
+    """Decide for every ``(clone, kind, observation)`` request in one batch.
+
+    Returns one :class:`Decision` per request, in order.  Clones are
+    mutated exactly as their serial ``decide`` would mutate them
+    (predictor state, SENSEI's spent proactive budget).
+    """
+    decisions: List[Optional[Decision]] = [None] * len(requests)
+    jobs: List[PlanJob] = []
+    # (request index, clone, kind, observation, horizon, scenarios)
+    meta: List[Tuple[int, ABRAlgorithm, str, PlayerObservation, int, list]] = []
+    for index, (clone, kind, observation) in enumerate(requests):
+        if kind == KIND_GENERIC:
+            decisions[index] = clone.decide(observation)
+            continue
+        horizon = min(clone.horizon, observation.horizon)
+        if kind == KIND_MPC:
+            predicted = clone.predictor.predict(observation)
+            conservative = predicted / (1.0 + clone.robustness_discount)
+            scenarios = [(conservative, 1.0)]
+            jobs.append(PlanJob(
+                observation=observation,
+                horizon=horizon,
+                scenarios=scenarios,
+                quality_model=clone.quality_model,
+                max_level_step=clone.max_level_step,
+            ))
+        elif kind == KIND_SENSEI:
+            scenarios = clone.predictor.predict_distribution(observation)
+            jobs.append(PlanJob(
+                observation=observation,
+                horizon=horizon,
+                scenarios=scenarios,
+                quality_model=clone.quality_model,
+                stall_options=(0.0,),
+                max_level_step=clone.max_level_step,
+                use_weights=True,
+                need_rebuffer=True,
+            ))
+        else:  # KIND_FUGU
+            scenarios = clone.predictor.predict_distribution(observation)
+            jobs.append(PlanJob(
+                observation=observation,
+                horizon=horizon,
+                scenarios=scenarios,
+                quality_model=clone.quality_model,
+                max_level_step=clone.max_level_step,
+            ))
+        meta.append((index, clone, kind, observation, horizon, scenarios))
+
+    if not jobs:
+        return [decision for decision in decisions]  # all generic
+
+    results = plan_batch(jobs)
+
+    # Phase 2: SENSEI sessions whose stall gate opened re-plan over the
+    # stall options still affordable within their proactive budget.
+    second_jobs: List[PlanJob] = []
+    second_meta: List[Tuple[int, ABRAlgorithm, object]] = []
+    for (index, clone, kind, observation, horizon, scenarios), result in zip(
+        meta, results
+    ):
+        if kind != KIND_SENSEI:
+            decisions[index] = Decision(level=result.level)
+            continue
+        weights_ahead = observation.upcoming_weights[:horizon]
+        shifting_helps = bool(
+            weights_ahead.size > 1
+            and float(np.max(weights_ahead[1:]))
+            > float(weights_ahead[0]) * 1.05
+        )
+        consider_stall = (
+            result.expected_rebuffer_s >= clone.stall_risk_threshold_s
+            and observation.buffer_s >= clone.min_stall_buffer_s
+            and shifting_helps
+            and clone._proactive_spent_s < clone.max_total_proactive_stall_s
+            and len(clone.stall_options_s) > 1
+        )
+        if not consider_stall:
+            if result.proactive_stall_s > 0:
+                clone._proactive_spent_s += result.proactive_stall_s
+            decisions[index] = Decision(
+                level=result.level,
+                proactive_stall_s=result.proactive_stall_s,
+            )
+            continue
+        remaining = clone.max_total_proactive_stall_s - clone._proactive_spent_s
+        allowed = tuple(
+            option for option in clone.stall_options_s
+            if option <= remaining + 1e-9
+        )
+        second_jobs.append(PlanJob(
+            observation=observation,
+            horizon=horizon,
+            scenarios=scenarios,
+            quality_model=clone.quality_model,
+            stall_options=allowed,
+            max_level_step=clone.max_level_step,
+            use_weights=True,
+        ))
+        second_meta.append((index, clone, result))
+
+    if second_jobs:
+        for (index, clone, phase_one), with_stalls in zip(
+            second_meta, plan_batch(second_jobs)
+        ):
+            # Strictly better, exactly like the serial gate: ties keep the
+            # no-stall plan.
+            if with_stalls.score > phase_one.score:
+                level = with_stalls.level
+                stall_s = with_stalls.proactive_stall_s
+            else:
+                level = phase_one.level
+                stall_s = phase_one.proactive_stall_s
+            if stall_s > 0:
+                clone._proactive_spent_s += stall_s
+            decisions[index] = Decision(level=level, proactive_stall_s=stall_s)
+
+    return [decision for decision in decisions]

@@ -1,0 +1,206 @@
+"""Weighted fair admission for the decision service.
+
+:class:`WeightedFairScheduler` is a start-time fair queueing (SFQ) gate in
+front of the planner kernel: a fixed number of concurrency slots
+(``capacity``) is shared across tenants in proportion to their weights.
+When slots are free, ``acquire`` grants immediately; under contention,
+waiters queue ordered by per-tenant *virtual start tags*, so a tenant with
+weight 4 is granted ~4x as often as a weight-1 tenant submitting at the
+same offered load (the skew the service test suite asserts, mirroring the
+``FAIR_SCHED`` exemplar's acquire/release surface).
+
+Two deliberate departures from a textbook SFQ link scheduler:
+
+* **Bounded backlog + shedding.**  Each tenant may hold at most
+  ``max_backlog`` queued waiters; beyond that — or when a waiter's
+  ``timeout`` elapses — ``acquire`` returns ``False`` instead of blocking
+  forever.  The service maps that to an explicit *degraded* decision
+  rather than an unbounded queue (the load-shedding contract in
+  docs/SERVICE.md).
+* **Single event loop, no locks.**  Like everything else in the service
+  this is plain asyncio on one loop; state is only touched between
+  awaits, so no synchronisation primitives are needed beyond the
+  per-waiter futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Dict, Optional, Tuple
+
+__all__ = ["WeightedFairScheduler"]
+
+
+class _Waiter:
+    """One queued ``acquire`` call."""
+
+    __slots__ = ("tenant", "cost", "start_tag", "future", "cancelled")
+
+    def __init__(self, tenant: str, cost: float, start_tag: float,
+                 future: "asyncio.Future[bool]") -> None:
+        self.tenant = tenant
+        self.cost = cost
+        self.start_tag = start_tag
+        self.future = future
+        self.cancelled = False
+
+
+class WeightedFairScheduler:
+    """Start-time fair queueing over a fixed pool of concurrency slots."""
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        default_weight: float = 1.0,
+        max_backlog: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if default_weight <= 0:
+            raise ValueError("default_weight must be > 0")
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+        self.capacity = capacity
+        self.default_weight = float(default_weight)
+        self.max_backlog = max_backlog
+        self._weights: Dict[str, float] = {}
+        #: Virtual time: advances to the granted waiter's start tag, so an
+        #: idle tenant's next start tag catches up to "now" instead of
+        #: earning credit while inactive (the SFQ idleness rule).
+        self._virtual_time = 0.0
+        #: Last assigned finish tag per tenant (start tag of that tenant's
+        #: next request while it stays backlogged).
+        self._finish_tags: Dict[str, float] = {}
+        self._in_flight = 0
+        self._backlog: Dict[str, int] = {}
+        self._queue: list = []  # heap of (start_tag, seq, _Waiter)
+        self._seq = itertools.count()
+        # Grant/shed accounting, exposed via stats() for health snapshots
+        # and the fairness tests.
+        self.grants: Dict[str, int] = {}
+        self.shed: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- weights
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Set a tenant's scheduling weight (share of grants under load)."""
+        if weight <= 0:
+            raise ValueError(f"weight for {tenant!r} must be > 0: {weight}")
+        self._weights[tenant] = float(weight)
+
+    def weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, self.default_weight)
+
+    # ------------------------------------------------------------ admission
+
+    async def acquire(
+        self,
+        tenant: str,
+        cost: float = 1.0,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Acquire one slot for ``tenant``; ``False`` means *shed*.
+
+        Grants immediately while slots are free.  Under contention the
+        caller queues at its SFQ start tag; if the tenant's backlog is
+        full, or ``timeout`` elapses first, the request is shed and the
+        caller must fall back to a degraded decision.
+        """
+        if cost <= 0:
+            raise ValueError("cost must be > 0")
+        self._purge_cancelled()
+        if self._in_flight < self.capacity and not self._queue:
+            self._grant_immediate(tenant, cost)
+            return True
+        if self._backlog.get(tenant, 0) >= self.max_backlog:
+            self.shed[tenant] = self.shed.get(tenant, 0) + 1
+            return False
+        start = max(self._virtual_time, self._finish_tags.get(tenant, 0.0))
+        finish = start + cost / self.weight(tenant)
+        self._finish_tags[tenant] = finish
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(tenant, cost, start, loop.create_future())
+        heapq.heappush(self._queue, (start, next(self._seq), waiter))
+        self._backlog[tenant] = self._backlog.get(tenant, 0) + 1
+        try:
+            if timeout is None:
+                return await waiter.future
+            return await asyncio.wait_for(waiter.future, timeout)
+        except asyncio.TimeoutError:
+            waiter.cancelled = True  # lazily discarded by _dispatch
+            self._backlog[tenant] -= 1
+            # Roll the finish tag back if this was the tenant's newest
+            # queued request, so the shed request doesn't inflate the
+            # start tags of requests that come after it.
+            if self._finish_tags.get(tenant) == finish:
+                self._finish_tags[tenant] = start
+            self.shed[tenant] = self.shed.get(tenant, 0) + 1
+            return False
+
+    async def release(self, tenant: str) -> None:
+        """Return a slot and hand it to the earliest-start-tag waiter."""
+        if self._in_flight <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self._in_flight -= 1
+        self._dispatch()
+
+    # -------------------------------------------------------------- internals
+
+    def _grant_immediate(self, tenant: str, cost: float) -> None:
+        start = max(self._virtual_time, self._finish_tags.get(tenant, 0.0))
+        self._finish_tags[tenant] = start + cost / self.weight(tenant)
+        self._virtual_time = max(self._virtual_time, start)
+        self._in_flight += 1
+        self.grants[tenant] = self.grants.get(tenant, 0) + 1
+
+    def _purge_cancelled(self) -> None:
+        """Drop timed-out waiters from the head of the heap.
+
+        Cancellation is lazy (the heap cannot remove from the middle), so
+        without this a fresh ``acquire`` could queue behind *only*
+        cancelled entries with no in-flight ``release`` left to drain them.
+        """
+        queue = self._queue
+        while queue and (queue[0][2].cancelled or queue[0][2].future.done()):
+            heapq.heappop(queue)
+
+    def _dispatch(self) -> None:
+        while self._queue and self._in_flight < self.capacity:
+            start, _, waiter = heapq.heappop(self._queue)
+            if waiter.cancelled or waiter.future.done():
+                continue
+            self._backlog[waiter.tenant] -= 1
+            self._virtual_time = max(self._virtual_time, start)
+            self._in_flight += 1
+            self.grants[waiter.tenant] = self.grants.get(waiter.tenant, 0) + 1
+            waiter.future.set_result(True)
+
+    # ------------------------------------------------------------------ stats
+
+    def queue_depth(self, tenant: Optional[str] = None) -> int:
+        """Queued (unshed) waiters, for one tenant or in total."""
+        if tenant is not None:
+            return self._backlog.get(tenant, 0)
+        return sum(self._backlog.values())
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant grant/shed/backlog counts for ``health()``."""
+        tenants = (
+            set(self.grants) | set(self.shed) | set(self._backlog)
+            | set(self._weights)
+        )
+        return {
+            tenant: {
+                "weight": self.weight(tenant),
+                "grants": self.grants.get(tenant, 0),
+                "shed": self.shed.get(tenant, 0),
+                "queued": self._backlog.get(tenant, 0),
+            }
+            for tenant in sorted(tenants)
+        }

@@ -110,6 +110,35 @@ class TestMetricsRegistry:
         assert payload["count"] == 4
         assert payload["sum"] == pytest.approx(65.5)
 
+    def test_histogram_per_metric_buckets(self):
+        """Each histogram keeps its own bounds; re-requesting with the
+        *same* explicit bounds (or none) is fine, different bounds raise."""
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.001, 0.01))
+        registry.histogram("size", buckets=(1.0, 8.0, 64.0))
+        assert registry.histogram("lat").buckets == (0.001, 0.01)
+        assert registry.histogram("lat", buckets=(0.001, 0.01)).buckets == (
+            0.001, 0.01,
+        )
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            registry.histogram("lat", buckets=(0.001, 0.02))
+
+    def test_micro_latency_buckets_resolve_sub_millisecond(self):
+        from repro.obs import DEFAULT_MICRO_LATENCY_BUCKETS_S
+
+        bounds = DEFAULT_MICRO_LATENCY_BUCKETS_S
+        assert list(bounds) == sorted(set(bounds))
+        # µs–ms range: several bounds under 100 µs so a service whose p50
+        # is tens of microseconds lands in resolvable buckets.
+        assert sum(1 for b in bounds if b < 1e-4) >= 4
+        registry = MetricsRegistry()
+        hist = registry.histogram("svc", buckets=bounds)
+        hist.observe(3e-5)
+        hist.observe(0.3)
+        payload = registry.snapshot()["histograms"]["svc"]
+        assert payload["counts"][0:4].count(1) == 1  # 30 µs resolved
+        assert payload["count"] == 2
+
     def test_histogram_rejects_unsorted_buckets(self):
         registry = MetricsRegistry()
         with pytest.raises(ValueError, match="strictly increasing"):
@@ -305,6 +334,33 @@ class TestSinks:
         assert 'repro_span_seconds_total{span="engine.dispatch"} 2.0' in text
         path = write_prometheus(tmp_path / "metrics.prom", _sink_snapshot())
         assert path.read_text() == text
+
+    def test_prometheus_help_lines(self):
+        """Every exported family carries a # HELP line scrapers can parse."""
+        text = to_prometheus(_sink_snapshot())
+        lines = text.splitlines()
+        for metric in ("repro_orders_total", "repro_cache_size", "repro_lat",
+                       "repro_span_seconds_total", "repro_span_count",
+                       "repro_span_max_seconds"):
+            help_lines = [l for l in lines if l.startswith(f"# HELP {metric} ")]
+            assert len(help_lines) == 1, metric
+            # HELP precedes TYPE for the same family (exposition order).
+            assert lines.index(help_lines[0]) < lines.index(next(
+                l for l in lines if l.startswith(f"# TYPE {metric} ")
+            ))
+
+    def test_prometheus_escapes_names_and_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("weird metric!name").inc()
+        registry.record_span('spans\\with"quotes\nand newlines', 1.0)
+        text = to_prometheus(registry.snapshot())
+        # Invalid metric-name characters are sanitised to underscores.
+        assert "repro_weird_metric_name_total 1" in text
+        # Label values escape backslash, quote and newline.
+        assert (
+            'span="spans\\\\with\\"quotes\\nand newlines"' in text
+        )
+        assert "\nand newlines" not in text.replace("\\nand newlines", "")
 
     def test_phase_table_contents_and_empty_message(self):
         table = phase_table(_sink_snapshot())
