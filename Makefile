@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast chaos coverage regen-golden bench bench-training train figures list profile serve loadtest
+.PHONY: test test-fast chaos coverage regen-golden bench bench-kernel bench-training train figures list profile serve loadtest
 
 ## Tier-1 verification: the full unit + benchmark suite.
 test:
@@ -32,6 +32,12 @@ regen-golden:
 ## Perf harness: measures the engine and writes BENCH_engine.json.
 bench:
 	$(PYTHON) -m pytest benchmarks/test_perf_engine.py -v -s
+
+## Kernel microbench: candidates-scored/sec for legacy vs arena f64 vs
+## arena f32, arena build amortisation -> "kernel" section of
+## BENCH_engine.json (docs/PERFORMANCE.md).
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/test_perf_kernel.py -v -s
 
 ## Training perf harness: episodes/sec per backend -> BENCH_training.json.
 bench-training:

@@ -25,10 +25,24 @@ Two engine-level optimisations keep trace-scale experiments fast:
   loops over the small axes (horizon, scenarios, stalls), so adding
   sessions to the stack cannot change any session's floating-point result:
   the lockstep engine's bit-identity guarantee rests on this.
+* the batch kernel itself runs over a precomputed per-tree **score arena**
+  (:class:`_TreeArena`): gather indices, switch-term rows and preallocated
+  workspaces are derived once per (candidate tree, ladder) pair and reused
+  by every call, so a batch score is a single pass of in-place elementwise
+  ops over contiguous buffers with no per-call temporaries.  The pre-arena
+  kernel is retained as the ``legacy`` implementation
+  (``REPRO_KERNEL_IMPL=legacy`` / ``kernel_impl="legacy"``) — the arena
+  path is required to match it bit for bit and is differentially tested
+  against it.  An opt-in float32 arena path (``REPRO_KERNEL_F32=1`` /
+  ``kernel_dtype="float32"``) trades the bit-identity contract for speed
+  and memory; it is validated against float64 with explicit tolerances.
 """
 
 from __future__ import annotations
 
+import os
+
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from itertools import product
@@ -163,6 +177,7 @@ def clear_plan_cache() -> None:
     _cached_level_sequences.cache_clear()
     _PREFIX_TREES.clear()
     _SWITCH_TERMS.clear()
+    _ARENAS.clear()
 
 
 def plan_cache_info():
@@ -186,6 +201,134 @@ def _publish_plan_cache(registry) -> None:
 
 
 register_collector(_publish_plan_cache)
+
+
+# --------------------------------------------------------------------------
+# Kernel configuration
+#
+# ``impl`` selects the batch-kernel implementation: the arena path (default)
+# or the pre-arena ``legacy`` kernel it must match bit for bit.  ``dtype``
+# selects the arena's compute precision: float64 (default, bit-identity
+# contract) or the opt-in float32 fast path.  Both have process-wide
+# defaults (env-overridable) plus per-call keyword overrides.
+
+_KERNEL_IMPLS = ("arena", "legacy")
+_KERNEL_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+def _impl_from_env() -> str:
+    impl = os.environ.get("REPRO_KERNEL_IMPL", "arena").strip().lower()
+    return impl if impl in _KERNEL_IMPLS else "arena"
+
+
+def _dtype_from_env() -> str:
+    flag = os.environ.get("REPRO_KERNEL_F32", "").strip().lower()
+    return "float32" if flag in ("1", "true", "yes", "on") else "float64"
+
+
+_kernel_impl: str = _impl_from_env()
+_kernel_dtype: str = _dtype_from_env()
+
+
+def set_kernel_impl(impl: Optional[str]) -> str:
+    """Set the process-wide kernel implementation (``None`` re-reads env)."""
+    global _kernel_impl
+    if impl is None:
+        _kernel_impl = _impl_from_env()
+    else:
+        require(impl in _KERNEL_IMPLS, f"unknown kernel impl {impl!r}")
+        _kernel_impl = impl
+    return _kernel_impl
+
+
+def set_kernel_dtype(dtype: Optional[str]) -> str:
+    """Set the process-wide kernel dtype (``None`` re-reads env)."""
+    global _kernel_dtype
+    if dtype is None:
+        _kernel_dtype = _dtype_from_env()
+    else:
+        require(dtype in _KERNEL_DTYPES, f"unknown kernel dtype {dtype!r}")
+        _kernel_dtype = dtype
+    return _kernel_dtype
+
+
+def kernel_config() -> Tuple[str, str]:
+    """The process-wide ``(impl, dtype)`` the batch kernel defaults to."""
+    return _kernel_impl, _kernel_dtype
+
+
+#: Cache-blocked tiling target: the kernel-call working set (arena
+#: workspace bytes per session x sessions) is sized to fit this budget —
+#: by default one per-core L2's worth.  Overridable for hosts with other
+#: cache geometries (``REPRO_KERNEL_L2_BYTES``) or pinned outright
+#: (``REPRO_KERNEL_BLOCK`` sessions per call).
+_KERNEL_L2_BYTES = max(
+    64 * 1024, int(os.environ.get("REPRO_KERNEL_L2_BYTES", str(2 * 1024 * 1024)))
+)
+_KERNEL_BLOCK_PIN = os.environ.get("REPRO_KERNEL_BLOCK", "").strip()
+
+#: Hard ceiling on sessions per kernel call: beyond this the per-call
+#: Python overhead is fully amortised and bigger tiles only grow latency.
+_KERNEL_BLOCK_CAP = 64
+
+
+@lru_cache(maxsize=1024)
+def _block_sessions_cached(
+    num_levels: int,
+    horizon: int,
+    max_step: Optional[int],
+    num_scenarios: int,
+    impl: str,
+    dtype_name: str,
+    floor: int,
+) -> int:
+    if impl == "legacy":
+        return floor  # pre-arena kernel keeps its pre-arena slice cap
+    candidates = enumerate_level_sequences(
+        num_levels, horizon, max_step=max_step
+    )
+    tree = _prefix_tree(candidates)
+    num_candidates = candidates.shape[0]
+    total_nodes = tree.flat_levels.size
+    scenarios = max(1, int(num_scenarios))
+    itemsize = np.dtype(_KERNEL_DTYPES[dtype_name]).itemsize
+    # per-session arena workspace: the dt table, the (h, C) quality block,
+    # seven (N, C) scratch rows, and 4x the tree nodes per scenario (two
+    # state planes + gathered dt + shortfall)
+    per_session_bytes = itemsize * (
+        scenarios * horizon * num_levels
+        + horizon * num_candidates
+        + 7 * num_candidates
+        + 4 * scenarios * total_nodes
+    )
+    block = _KERNEL_L2_BYTES // max(1, per_session_bytes)
+    return int(min(_KERNEL_BLOCK_CAP, max(floor, block)))
+
+
+def kernel_block_sessions(
+    num_levels: int,
+    horizon: int,
+    max_step: Optional[int],
+    num_scenarios: int,
+    floor: int = 12,
+) -> int:
+    """Sessions per kernel call for cache-blocked tiling.
+
+    Chosen so one call's arena working set — states, download times and
+    score rows over the ``(session x stall x scenario x candidate)``
+    tensor — fits the L2 target, while never dropping below ``floor``
+    (the coordinator's pre-arena ``SPLIT_ABOVE`` cap).  Deterministic in
+    its arguments and the process-wide kernel config, so lockstep batching
+    stays reproducible; the kernel's elementwise contract makes the block
+    size invisible in the results either way.
+    """
+    if _KERNEL_BLOCK_PIN:
+        return max(1, int(_KERNEL_BLOCK_PIN))
+    return _block_sessions_cached(
+        int(num_levels), int(horizon),
+        None if max_step is None else int(max_step),
+        int(num_scenarios), _kernel_impl, _kernel_dtype, int(floor),
+    )
 
 
 @dataclass(frozen=True)
@@ -369,8 +512,23 @@ def _prefix_tree(candidates: np.ndarray) -> _CandidateTree:
     return tree
 
 
-#: Per-(candidates, ladder) switch-term constants, memoised like the trees.
-_SWITCH_TERMS: dict = {}
+#: Per-(candidates, ladder) derived caches (switch-term constants, score
+#: arenas).  Both are LRU-bounded: a long-lived decision service replanning
+#: over many distinct ladders would otherwise grow them without limit.
+#: Insertion-ordered ``OrderedDict``s with move-to-end on hit; evictions are
+#: counted and published as ``planner.arena.*`` gauges.
+_DERIVED_CACHE_CAP = max(4, int(os.environ.get("REPRO_KERNEL_CACHE_CAP", "32")))
+_SWITCH_TERMS: "OrderedDict" = OrderedDict()
+_ARENAS: "OrderedDict" = OrderedDict()
+_CACHE_EVICTIONS = {"switch_terms": 0, "arenas": 0}
+
+
+def _lru_put(cache: "OrderedDict", key, value, counter: str) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _DERIVED_CACHE_CAP:
+        cache.popitem(last=False)
+        _CACHE_EVICTIONS[counter] += 1
 
 
 def _switch_constants(candidates: np.ndarray, bitrates: np.ndarray):
@@ -382,6 +540,7 @@ def _switch_constants(candidates: np.ndarray, bitrates: np.ndarray):
     key = (id(candidates), bitrates.tobytes())
     cached = _SWITCH_TERMS.get(key)
     if cached is not None and cached[0] is candidates:
+        _SWITCH_TERMS.move_to_end(key)
         return cached[1], cached[2]
     candidate_bitrates = bitrates[candidates]               # (C, h)
     top_bitrate = bitrates[-1]
@@ -390,14 +549,237 @@ def _switch_constants(candidates: np.ndarray, bitrates: np.ndarray):
         candidate_bitrates[:, 1:] - candidate_bitrates[:, :-1]
     ) / top_bitrate                                         # (C, h-1)
     if not candidates.flags.writeable:
-        _SWITCH_TERMS[key] = (candidates, first_bitrates, later_switch)
+        _lru_put(
+            _SWITCH_TERMS, key, (candidates, first_bitrates, later_switch),
+            "switch_terms",
+        )
     return first_bitrates, later_switch
 
 
 def clear_prefix_tree_cache() -> None:
-    """Drop memoised prefix trees and switch constants (tests/benchmarks)."""
+    """Drop memoised prefix trees, switch constants and score arenas."""
     _PREFIX_TREES.clear()
     _SWITCH_TERMS.clear()
+    _ARENAS.clear()
+
+
+class _ArenaWorkspace:
+    """Preallocated per-(batch-shape, dtype) buffers for the arena kernel.
+
+    Every array the kernel writes lives here, sized once and reused by every
+    call with the same ``(num_sessions, num_scenarios, dtype)`` — the arena
+    path performs no per-call array allocation on its hot path.
+    """
+
+    __slots__ = (
+        "dt_all", "cq", "first_switch", "quality_dot", "switch_dot",
+        "static", "weight_total", "step_product", "states", "dt_flat",
+        "dt_nodes", "shortfall", "expected", "partial", "rates",
+    )
+
+    def __init__(self, arena: "_TreeArena", num_sessions: int,
+                 num_scenarios: int, width: int, dtype) -> None:
+        C, h = arena.C, arena.h
+        N, S = num_sessions, num_scenarios
+        self.dt_all = np.empty((N, S, h * width), dtype=dtype)
+        self.cq = np.empty((N, h, C), dtype=dtype)
+        self.first_switch = np.empty((N, C), dtype=dtype)
+        self.quality_dot = np.empty((N, C), dtype=dtype)
+        self.switch_dot = np.empty((N, C), dtype=dtype)
+        self.static = np.empty((N, C), dtype=dtype)
+        self.weight_total = np.empty(N, dtype=dtype)
+        self.step_product = np.empty((N, C), dtype=dtype)
+        self.states = [
+            np.empty((2, N, S, levels.size), dtype=dtype)
+            for levels in arena.node_levels
+        ]
+        # every step's dt nodes in one contiguous buffer filled by a single
+        # gather; per-step slices are views delimited by the arena offsets
+        self.dt_flat = np.empty((N, S, arena.flat_levels.size), dtype=dtype)
+        off = arena.node_offsets
+        self.dt_nodes = [
+            self.dt_flat[:, :, off[k]:off[k + 1]]
+            for k in range(len(arena.node_levels))
+        ]
+        self.shortfall = [
+            np.empty((N, S, levels.size), dtype=dtype)
+            for levels in arena.node_levels
+        ]
+        self.expected = np.empty((N, C), dtype=dtype)
+        self.partial = np.empty((N, C), dtype=dtype)
+        self.rates = np.empty((N, S), dtype=dtype)
+
+    def nbytes(self) -> int:
+        total = 0
+        for name in self.__slots__:
+            value = getattr(self, name)
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            elif name != "dt_nodes":  # views into dt_flat, already counted
+                total += sum(a.nbytes for a in value)
+        return total
+
+
+class _TreeArena:
+    """Precomputed score arena for one (candidate tree, ladder) pair.
+
+    Everything the batch kernel re-derived per call that depends only on
+    the candidate matrix and the bitrate ladder is materialised once here:
+
+    * the prefix-tree evolution order (per-step node levels/parents) and a
+      concatenated gather index that pulls every tree node's download time
+      out of the per-(session, scenario) dt table in one ``np.take``;
+    * the flattened (step, level) quality gather indices, laid out so the
+      gathered block is contiguous per step;
+    * the switch-term rows: ``previous_bitrate`` takes at most L distinct
+      values, so the first-chunk switch row — and, for uniform weights, the
+      *entire* accumulated switch dot — collapses to one of L precomputed
+      rows (built with the kernel's exact elementwise op sequence, so the
+      gathered rows are bit-identical to computing them in the call);
+    * per-(shape, dtype) workspaces (:class:`_ArenaWorkspace`), LRU-bounded.
+
+    Constants are built in float64 and cast once per requested dtype.
+    """
+
+    __slots__ = (
+        "candidates", "C", "h", "L", "node_levels", "node_parents",
+        "flat_steps", "flat_levels", "node_offsets", "first_levels",
+        "build_seconds", "_consts", "_scaled_rows", "_workspaces",
+        "_gather_idx",
+    )
+
+    WORKSPACE_CAP = 16
+
+    def __init__(self, candidates: np.ndarray, bitrates: np.ndarray) -> None:
+        t0 = perf_counter()
+        tree = _prefix_tree(candidates)
+        C, h = candidates.shape
+        L = bitrates.size
+        self.candidates = candidates
+        self.C, self.h, self.L = C, h, L
+        self.node_levels = [levels for levels, _ in tree.steps]
+        self.node_parents = [parents for _, parents in tree.steps]
+        self.flat_steps = tree.flat_steps
+        self.flat_levels = tree.flat_levels
+        self.node_offsets = list(tree.offsets)
+        self.first_levels = candidates[:, 0].copy()
+        # gather indices depend on the per-session matrices' level width,
+        # which can exceed L when mixed-ladder sessions share a shard (the
+        # engine pads ``sizes``/``quality`` to the widest ladder); cached
+        # per width in ``_gather_idx``
+        self._gather_idx = {}
+
+        first_bitrates, later_switch = _switch_constants(candidates, bitrates)
+        later_switch_T = np.ascontiguousarray(later_switch.T)  # (h-1, C)
+        # first-chunk switch rows per possible previous level, built with
+        # the kernel's op sequence (subtract, abs, divide by the top rate)
+        rows = np.empty((L, C))
+        np.subtract(first_bitrates[None, :], bitrates[:, None], out=rows)
+        np.abs(rows, out=rows)
+        rows /= bitrates[-1]
+        # uniform-weight switch dot: same left-fold order as the kernel loop
+        sdot = rows.copy()
+        for step in range(1, h):
+            sdot += later_switch_T[step - 1][None, :]
+        self._consts = {
+            "float64": (rows, sdot, later_switch_T),
+        }
+        self._scaled_rows = {}
+        self._workspaces: "OrderedDict" = OrderedDict()
+        self.build_seconds = perf_counter() - t0
+
+    def gather_indices(self, width: int):
+        """(quality, dt) gather index vectors for level-width ``width``.
+
+        ``q_idx`` gathers the (h, C) candidate quality block out of a
+        flattened (N, h*width) quality matrix, transposed so each step's
+        row is contiguous; ``dt_idx`` gathers every tree node's download
+        time out of the (N, S, h*width) dt table in one ``np.take``.
+        """
+        cached = self._gather_idx.get(width)
+        if cached is None:
+            q_idx = (
+                np.arange(self.h)[:, None] * width + self.candidates.T
+            ).astype(np.intp).reshape(-1)
+            dt_idx = (self.flat_steps * width + self.flat_levels).astype(np.intp)
+            cached = (q_idx, dt_idx)
+            self._gather_idx[width] = cached
+        return cached
+
+    def consts(self, dtype_name: str):
+        cached = self._consts.get(dtype_name)
+        if cached is None:
+            dtype = _KERNEL_DTYPES[dtype_name]
+            cached = tuple(a.astype(dtype) for a in self._consts["float64"])
+            self._consts[dtype_name] = cached
+        return cached
+
+    def scaled_switch_rows(self, dtype_name: str,
+                           switch_weight: float) -> np.ndarray:
+        key = (dtype_name, switch_weight)
+        rows = self._scaled_rows.get(key)
+        if rows is None:
+            rows = switch_weight * self.consts(dtype_name)[1]
+            self._scaled_rows[key] = rows
+        return rows
+
+    def workspace(self, num_sessions: int, num_scenarios: int,
+                  width: int, dtype_name: str) -> _ArenaWorkspace:
+        key = (num_sessions, num_scenarios, width, dtype_name)
+        ws = self._workspaces.get(key)
+        if ws is None:
+            ws = _ArenaWorkspace(
+                self, num_sessions, num_scenarios, width,
+                _KERNEL_DTYPES[dtype_name],
+            )
+            self._workspaces[key] = ws
+            while len(self._workspaces) > self.WORKSPACE_CAP:
+                self._workspaces.popitem(last=False)
+        else:
+            self._workspaces.move_to_end(key)
+        return ws
+
+    def workspace_bytes(self) -> int:
+        return sum(ws.nbytes() for ws in self._workspaces.values())
+
+
+_ARENA_BUILDS = {"count": 0, "seconds": 0.0}
+
+
+def _arena_for(candidates: np.ndarray, bitrates: np.ndarray) -> _TreeArena:
+    key = (id(candidates), bitrates.tobytes())
+    cached = _ARENAS.get(key)
+    if cached is not None and cached[0] is candidates:
+        _ARENAS.move_to_end(key)
+        return cached[1]
+    arena = _TreeArena(candidates, bitrates)
+    _ARENA_BUILDS["count"] += 1
+    _ARENA_BUILDS["seconds"] += arena.build_seconds
+    if not candidates.flags.writeable:
+        _lru_put(_ARENAS, key, (candidates, arena), "arenas")
+    return arena
+
+
+def _publish_arena_stats(registry) -> None:
+    """Snapshot-time collector for the ``planner.arena.*`` gauges."""
+    registry.gauge("planner.arena.cached").set(len(_ARENAS))
+    registry.gauge("planner.arena.builds").set(_ARENA_BUILDS["count"])
+    registry.gauge("planner.arena.build_seconds").set(
+        round(_ARENA_BUILDS["seconds"], 6)
+    )
+    registry.gauge("planner.arena.workspaces").set(
+        sum(len(arena._workspaces) for _, arena in _ARENAS.values())
+    )
+    registry.gauge("planner.arena.workspace_bytes").set(
+        sum(arena.workspace_bytes() for _, arena in _ARENAS.values())
+    )
+    registry.gauge("planner.arena.evictions").set(_CACHE_EVICTIONS["arenas"])
+    registry.gauge("planner.arena.switch_term_evictions").set(
+        _CACHE_EVICTIONS["switch_terms"]
+    )
+
+
+register_collector(_publish_arena_stats)
 
 
 @dataclass(frozen=True)
@@ -434,6 +816,8 @@ def evaluate_candidates_batch(
     candidate_mask: Optional[np.ndarray] = None,
     need_expected_rebuffer: bool = True,
     weights_uniform: Optional[bool] = None,
+    kernel_impl: Optional[str] = None,
+    kernel_dtype: Optional[str] = None,
 ) -> BatchPlanEvaluation:
     """Score one candidate tree for a whole batch of sessions at once.
 
@@ -482,12 +866,66 @@ def evaluate_candidates_batch(
         the in-kernel check and the weight multiplies, which are bit-exact
         no-ops then); False always takes the general path, which is also
         correct for uniform weights.  None (default) checks the array.
+    kernel_impl: ``"arena"`` (default) or ``"legacy"`` — per-call override
+        of the process-wide implementation (see :func:`set_kernel_impl`).
+        Both produce bit-identical float64 results; legacy is kept as the
+        differential reference and escape hatch.
+    kernel_dtype: ``"float64"`` (default) or ``"float32"`` — per-call
+        override of the arena compute precision (:func:`set_kernel_dtype`).
+        float32 is an opt-in fast path that waives the bit-identity
+        contract; outputs are cast back to float64.  The legacy
+        implementation ignores it and always computes in float64.
     """
     # Manual span timing (no context manager) on the hottest call site in
-    # the engine; the kernel has a single exit, so no try/finally needed.
+    # the engine; the kernels have a single exit, so no try/finally needed.
     if TRACE.enabled:
         _span_t0 = perf_counter()
 
+    impl = _kernel_impl if kernel_impl is None else kernel_impl
+    if impl == "legacy":
+        result = _evaluate_batch_legacy(
+            candidates, sizes, quality, weights, buffer_s, last_level,
+            scenario_tputs, scenario_probs, bitrates_kbps, quality_model,
+            stall_options_s, chunk_duration_s, buffer_capacity_s,
+            candidate_mask, need_expected_rebuffer, weights_uniform,
+        )
+    else:
+        result = _evaluate_batch_arena(
+            candidates, sizes, quality, weights, buffer_s, last_level,
+            scenario_tputs, scenario_probs, bitrates_kbps, quality_model,
+            stall_options_s, chunk_duration_s, buffer_capacity_s,
+            candidate_mask, need_expected_rebuffer, weights_uniform,
+            _kernel_dtype if kernel_dtype is None else kernel_dtype,
+        )
+
+    if TRACE.enabled:
+        record_span("planner.kernel", perf_counter() - _span_t0)
+    return result
+
+
+def _evaluate_batch_legacy(
+    candidates: np.ndarray,
+    sizes: np.ndarray,
+    quality: np.ndarray,
+    weights: np.ndarray,
+    buffer_s: np.ndarray,
+    last_level: np.ndarray,
+    scenario_tputs: np.ndarray,
+    scenario_probs: np.ndarray,
+    bitrates_kbps: np.ndarray,
+    quality_model: KSQIModel,
+    stall_options_s: Sequence[float],
+    chunk_duration_s,
+    buffer_capacity_s,
+    candidate_mask: Optional[np.ndarray],
+    need_expected_rebuffer: bool,
+    weights_uniform: Optional[bool],
+) -> BatchPlanEvaluation:
+    """The pre-arena batch kernel (allocating temporaries per call).
+
+    Kept verbatim as the differential reference the arena path must match
+    bit for bit, and as a runtime escape hatch (``REPRO_KERNEL_IMPL=legacy``).
+    """
     num_sessions, horizon = weights.shape
     num_candidates = candidates.shape[0]
     bitrates = np.asarray(bitrates_kbps, dtype=float)
@@ -716,15 +1154,279 @@ def evaluate_candidates_batch(
     else:
         best_rebuffer = np.zeros(num_sessions)
 
-    if TRACE.enabled:
-        record_span("planner.kernel", perf_counter() - _span_t0)
-
     return BatchPlanEvaluation(
         best_level=best_level,
         best_stall_s=best_stall,
         best_score=best_score,
         expected_rebuffer_s=best_rebuffer,
         num_candidates=num_candidates * num_stalls * num_scenarios,
+    )
+
+
+def _evaluate_batch_arena(
+    candidates: np.ndarray,
+    sizes: np.ndarray,
+    quality: np.ndarray,
+    weights: np.ndarray,
+    buffer_s: np.ndarray,
+    last_level: np.ndarray,
+    scenario_tputs: np.ndarray,
+    scenario_probs: np.ndarray,
+    bitrates_kbps: np.ndarray,
+    quality_model: KSQIModel,
+    stall_options_s: Sequence[float],
+    chunk_duration_s,
+    buffer_capacity_s,
+    candidate_mask: Optional[np.ndarray],
+    need_expected_rebuffer: bool,
+    weights_uniform: Optional[bool],
+    dtype_name: str,
+) -> BatchPlanEvaluation:
+    """The arena batch kernel: one pass over preallocated contiguous buffers.
+
+    Operation-for-operation the same elementwise sequence as
+    :func:`_evaluate_batch_legacy` — same operands, same order, same
+    left-fold accumulations — so the float64 path is bit-identical to it
+    (differentially enforced by the test suite).  What changes is *where*
+    the data lives and how it gets there:
+
+    * all writes land in the arena's preallocated workspace (no per-call
+      temporaries, no allocator churn);
+    * gathers use precomputed contiguous index vectors (``np.take`` with
+      ``mode="clip"`` onto preallocated outputs — clip is never exercised,
+      it just selects numpy's unbuffered fast path);
+    * download times are h*L divisions per (session, scenario) gathered to
+      tree nodes, instead of |nodes| divisions (node dt depends only on the
+      (step, level) cell, so gathering the quotient is bit-identical);
+    * the switch-term block collapses to one row-gather from the arena's
+      precomputed tables (uniform weights), and the final step's shortfall
+      is computed in place over the gathered dt nodes (single-stall calls).
+
+    With ``dtype_name="float32"`` the same sequence runs in float32 over
+    float32 workspaces (inputs cast once on entry, outputs cast back to
+    float64) — faster and half the memory, but *not* bit-identical; callers
+    opt in explicitly.
+    """
+    num_sessions, horizon = weights.shape
+    num_scenarios = scenario_tputs.shape[1]
+    bitrates = np.asarray(bitrates_kbps, dtype=float)
+    coeffs = quality_model.coefficients
+    arena = _arena_for(candidates, bitrates)
+    C = arena.C
+    # sizes/quality may be padded wider than the ladder when mixed-ladder
+    # sessions share a shard; candidates only ever index the real levels
+    width = sizes.shape[2]
+    dtype = _KERNEL_DTYPES[dtype_name]
+    ws = arena.workspace(num_sessions, num_scenarios, width, dtype_name)
+    first_switch_rows, _, later_switch_T = arena.consts(dtype_name)
+    dt_idx_flat = arena.gather_indices(width)[1]
+
+    sizes = np.asarray(sizes, dtype=dtype)
+    quality = np.asarray(quality, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype)
+    buffer_s = np.asarray(buffer_s, dtype=dtype)
+    scenario_tputs = np.asarray(scenario_tputs, dtype=dtype)
+    scenario_probs = np.asarray(scenario_probs, dtype=dtype)
+
+    uniform_weights = (
+        bool(np.all(weights == 1.0))
+        if weights_uniform is None else weights_uniform
+    )
+    prev_row = np.maximum(last_level, 0)
+
+    # --- static scores: quality + switch terms + intercept ---------------
+    q_width = quality.shape[2]
+    qflat = quality.reshape(num_sessions, horizon * q_width)
+    np.take(qflat, arena.gather_indices(q_width)[0], axis=1,
+            out=ws.cq.reshape(num_sessions, horizon * C), mode="clip")
+    cq = ws.cq                                              # (N, h, C)
+    quality_dot = ws.quality_dot
+    static_scores = ws.static
+    tmp = ws.step_product                                   # scratch (N, C)
+    if uniform_weights:
+        # weight_total left-folds 1.0 h times -> exactly float(horizon);
+        # the switch dot depends only on last_level -> precomputed row
+        quality_dot[:] = cq[:, 0, :]
+        for step in range(1, horizon):
+            quality_dot += cq[:, step, :]
+        np.multiply(quality_dot, coeffs.quality_weight / 100.0,
+                    out=static_scores)
+        np.add(static_scores, coeffs.intercept * float(horizon),
+               out=static_scores)
+        scaled_rows = arena.scaled_switch_rows(
+            dtype_name, coeffs.switch_weight
+        )
+        np.take(scaled_rows, prev_row, axis=0, out=tmp, mode="clip")
+        np.subtract(static_scores, tmp, out=static_scores)
+    else:
+        np.take(first_switch_rows, prev_row, axis=0,
+                out=ws.first_switch, mode="clip")
+        weight_total = ws.weight_total
+        weight_total[:] = weights[:, 0]
+        switch_dot = ws.switch_dot
+        np.multiply(cq[:, 0, :], weights[:, 0, None], out=quality_dot)
+        np.multiply(ws.first_switch, weights[:, 0, None], out=switch_dot)
+        for step in range(1, horizon):
+            weight_total += weights[:, step]
+            np.multiply(cq[:, step, :], weights[:, step, None], out=tmp)
+            quality_dot += tmp
+            np.multiply(later_switch_T[step - 1][None, :],
+                        weights[:, step, None], out=tmp)
+            switch_dot += tmp
+        np.multiply(quality_dot, coeffs.quality_weight / 100.0,
+                    out=static_scores)
+        np.multiply(weight_total[:, None], coeffs.intercept, out=tmp)
+        np.add(tmp, static_scores, out=static_scores)
+        np.multiply(switch_dot, coeffs.switch_weight, out=tmp)
+        np.subtract(static_scores, tmp, out=static_scores)
+
+    # --- download times for every tree node ------------------------------
+    rates = ws.rates
+    np.maximum(scenario_tputs, 1e-3, out=rates)
+    rates *= 1e6 / 8.0
+    stalls = np.asarray(stall_options_s, dtype=float)
+    num_stalls = stalls.size
+    chunk_gain = _per_session_or_scalar(chunk_duration_s, num_sessions)
+    capacity = _per_session_or_scalar(buffer_capacity_s, num_sessions)
+
+    # h*L divisions per (session, scenario), then one concatenated gather
+    # fans the quotients out to every tree node
+    np.divide(sizes.reshape(num_sessions, 1, horizon * width),
+              rates[:, :, None], out=ws.dt_all)
+    np.take(ws.dt_all, dt_idx_flat, axis=2, out=ws.dt_flat,
+            mode="clip")
+    dt_nodes = ws.dt_nodes
+
+    session_index = _arange(num_sessions)
+    inv_mask = None if candidate_mask is None else ~candidate_mask
+    best_score = None
+    best_level = None
+    best_stall = None
+    best_candidate = None
+
+    node_parents = arena.node_parents
+    states = ws.states
+    for stall_index in range(num_stalls):
+        start_levels = buffer_s + float(stalls[stall_index])
+        for step in range(horizon):
+            state = states[step]
+            dt = dt_nodes[step]
+            if step == 0:
+                state[0] = start_levels[:, None, None]
+                state[1] = 0.0
+            else:
+                np.take(states[step - 1], node_parents[step], axis=3,
+                        out=state, mode="clip")
+            parent_buffers = state[0]
+            parent_weighted = state[1]
+            if step == horizon - 1 and num_stalls == 1:
+                # final step, single stall: dt is not reused afterwards, so
+                # the shortfall (and its weighting) is computed in place
+                # over the gathered dt
+                np.subtract(dt, parent_buffers, out=dt)
+                np.maximum(dt, 0.0, out=dt)
+                if not uniform_weights:
+                    dt *= weights[:, step, None, None]
+                parent_weighted += dt
+                continue
+            shortfall = ws.shortfall[step]
+            np.subtract(dt, parent_buffers, out=shortfall)
+            np.maximum(shortfall, 0.0, out=shortfall)
+            if not uniform_weights:
+                # same multiply-then-add sequence as the legacy kernel,
+                # just landing in the shortfall scratch instead of a fresh
+                # temporary (shortfall is dead after this accumulation)
+                shortfall *= weights[:, step, None, None]
+            parent_weighted += shortfall
+            if step < horizon - 1:
+                np.subtract(parent_buffers, dt, out=parent_buffers)
+                np.maximum(parent_buffers, 0.0, out=parent_buffers)
+                parent_buffers += chunk_gain
+                np.minimum(parent_buffers, capacity, out=parent_buffers)
+        weighted_rebuffer = states[horizon - 1][1]
+
+        plan_scores = weighted_rebuffer                     # (N, S, C)
+        np.multiply(plan_scores, coeffs.rebuffer_weight, out=plan_scores)
+        np.subtract(static_scores[:, None, :], plan_scores, out=plan_scores)
+        if stalls[stall_index] != 0.0:
+            stall_penalty = (
+                coeffs.rebuffer_weight * stalls[stall_index] * weights[:, 0]
+            )
+            np.subtract(plan_scores, stall_penalty[:, None, None],
+                        out=plan_scores)
+        expected_scores = ws.expected
+        np.multiply(scenario_probs[:, 0, None], plan_scores[:, 0, :],
+                    out=expected_scores)
+        partial = ws.partial
+        for scenario in range(1, num_scenarios):
+            np.multiply(scenario_probs[:, scenario, None],
+                        plan_scores[:, scenario, :], out=partial)
+            expected_scores += partial
+
+        if inv_mask is not None:
+            np.copyto(expected_scores, -np.inf, where=inv_mask)
+
+        top = np.argmax(expected_scores, axis=1)
+        score = expected_scores[session_index, top]         # fresh array
+        if best_score is None:
+            best_score = score
+            best_level = arena.first_levels[top]
+            best_stall = np.full(num_sessions, float(stalls[stall_index]))
+            best_candidate = top
+            continue
+        better = score > best_score
+        best_score = np.where(better, score, best_score)
+        best_level = np.where(better, arena.first_levels[top], best_level)
+        best_stall = np.where(better, stalls[stall_index], best_stall)
+        best_candidate = np.where(better, top, best_candidate)
+
+    if need_expected_rebuffer:
+        # recomputed along each session's single winning path; see the
+        # legacy kernel for the rationale
+        step_index = _arange(horizon)
+        path_levels = candidates[best_candidate]            # (N, h)
+        path_sizes = sizes[
+            session_index[:, None], step_index[None, :], path_levels
+        ]                                                   # (N, h)
+        path_dt = path_sizes[:, None, :] / rates[:, :, None]
+        path_gain = (
+            chunk_gain if isinstance(chunk_gain, float) else chunk_gain[:, :, 0]
+        )
+        path_capacity = (
+            capacity if isinstance(capacity, float) else capacity[:, :, 0]
+        )
+        path_buffer = np.empty((num_sessions, num_scenarios), dtype=dtype)
+        path_buffer[:] = (buffer_s + best_stall)[:, None]
+        path_total = np.zeros_like(path_buffer)
+        for step in range(horizon):
+            dt = path_dt[:, :, step]
+            shortfall = dt - path_buffer
+            np.maximum(shortfall, 0.0, out=shortfall)
+            path_total += shortfall
+            if step < horizon - 1:
+                np.subtract(path_buffer, dt, out=path_buffer)
+                np.maximum(path_buffer, 0.0, out=path_buffer)
+                path_buffer += path_gain
+                np.minimum(path_buffer, path_capacity, out=path_buffer)
+        best_rebuffer = scenario_probs[:, 0] * path_total[:, 0]
+        for scenario in range(1, num_scenarios):
+            best_rebuffer = (
+                best_rebuffer
+                + scenario_probs[:, scenario] * path_total[:, scenario]
+            )
+    else:
+        best_rebuffer = np.zeros(num_sessions)
+
+    if dtype is not np.float64:
+        best_score = np.asarray(best_score, dtype=np.float64)
+        best_rebuffer = np.asarray(best_rebuffer, dtype=np.float64)
+
+    return BatchPlanEvaluation(
+        best_level=best_level,
+        best_stall_s=best_stall,
+        best_score=best_score,
+        expected_rebuffer_s=best_rebuffer,
+        num_candidates=C * num_stalls * num_scenarios,
     )
 
 

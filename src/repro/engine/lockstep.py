@@ -68,6 +68,7 @@ from repro.abr.mpc import ModelPredictiveABR
 from repro.abr.planner import (
     enumerate_level_sequences,
     evaluate_candidates_batch,
+    kernel_block_sessions,
 )
 from repro.abr.throughput import (
     ErrorDistributionPredictor,
@@ -508,10 +509,13 @@ def _execute_plan_requests(
 
     Requests are bucketed by :attr:`_PlanRequest.key`; each bucket is one
     candidate tree evaluated for the concatenation of its requests'
-    sessions (sliced to :attr:`_PlannerDriverBase.SPLIT_ABOVE` sessions
-    per kernel call, the cache-friendliness cap).  Because the kernel is
-    elementwise over the session axis, every session's outputs are bitwise
-    those of evaluating its own request alone.
+    sessions, sliced into cache-blocked tiles: the per-call session count
+    comes from :func:`repro.abr.planner.kernel_block_sessions`, which
+    sizes the kernel's working set to the L2 target (never below the
+    pre-arena :attr:`_PlannerDriverBase.SPLIT_ABOVE` cap).  Because the
+    kernel is elementwise over the session axis, every session's outputs
+    are bitwise those of evaluating its own request alone — whatever the
+    tile size.
 
     With ``shard`` the per-session planner inputs are sliced from the
     shard's SoA matrices through each request's ``members``; without it
@@ -592,7 +596,12 @@ def _execute_plan_requests(
             )
 
         count = members.size
-        slice_size = count if split_above is None else min(count, split_above)
+        block = kernel_block_sessions(
+            first.bitrates.size, horizon, first.max_level_step,
+            scenario_tputs.shape[1],
+            floor=split_above if split_above is not None else count,
+        )
+        slice_size = count if split_above is None else min(count, block)
         slices = -(-count // slice_size)
         slice_size = -(-count // slices)
         levels = np.empty(count, dtype=int)
@@ -964,8 +973,17 @@ class _PlannerDriverBase:
 
     #: Subtree groups smaller than this are merged into one masked-union
     #: call: below it the per-call overhead outweighs the extra (masked-out)
-    #: candidates the union tree evaluates.
-    MERGE_BELOW = 4
+    #: candidates the union tree evaluates.  The arena kernel's per-call
+    #: dispatch cost dominates any group below a full cache block (a
+    #: masked union call over 295 candidates costs barely more than an
+    #: exact 185-candidate subtree call), so the merge threshold sits at
+    #: one arena block for the widest common shape (5 levels x horizon 4
+    #: x 5 scenarios -> ~23 sessions, :func:`kernel_block_sessions`):
+    #: anything smaller is cheaper evaluated inside the union, and
+    #: oversized unions get re-sliced to the block anyway.  Selection is
+    #: unchanged either way — the mask filters the union tree down to
+    #: each session's exact subtree, ties included.
+    MERGE_BELOW = 24
 
     #: Kernel calls are capped at this many sessions; larger groups are
     #: sliced (by the coordinator, after cross-family merging).  The
@@ -983,6 +1001,7 @@ class _PlannerDriverBase:
         last_levels: np.ndarray,
         extra_keys: Optional[List[tuple]] = None,
         split: bool = True,
+        num_scenarios: int = 1,
     ) -> Dict[tuple, Tuple[Optional[int], List[int]]]:
         """Kernel-call groups: ``key -> (start_level, positions into live)``.
 
@@ -1020,10 +1039,15 @@ class _PlannerDriverBase:
             return groups
         sliced: Dict[tuple, Tuple[Optional[int], List[int]]] = {}
         for key, (start, positions) in groups.items():
-            if len(positions) <= self.SPLIT_ABOVE:
+            member = live[positions[0]]
+            block = kernel_block_sessions(
+                self.bitrates[member].size, key[0], self.max_level_step,
+                num_scenarios, floor=self.SPLIT_ABOVE,
+            )
+            if len(positions) <= block:
                 sliced[key] = (start, positions)
                 continue
-            slices = -(-len(positions) // self.SPLIT_ABOVE)
+            slices = -(-len(positions) // block)
             size = -(-len(positions) // slices)
             for slice_index in range(slices):
                 chunk = positions[slice_index * size:(slice_index + 1) * size]
@@ -1254,6 +1278,7 @@ class _SenseiFuguDriver(_PlannerDriverBase):
                 extra_keys=[
                     allowed_keys[position] for position in plausible_positions
                 ],
+                num_scenarios=scenario_tputs.shape[1],
             )
             for key, (start_level, sub_positions) in groups.items():
                 positions = [

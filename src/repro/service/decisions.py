@@ -27,6 +27,12 @@ Bit-identity invariants, each load-bearing:
 * The kernel guarantees the rest: ``evaluate_candidates_batch`` is
   elementwise over the batch axis, so co-scheduling any mix of sessions
   cannot change any single session's floats (docs/PERFORMANCE.md).
+
+Every ``plan_batch`` call here runs on the arena kernel (precomputed
+per-tree score arenas + preallocated workspaces, docs/PERFORMANCE.md §2),
+so the service inherits its throughput directly; a service can opt into
+the float32 fast path via ``DecisionService(kernel_dtype="float32")``,
+which waives bit-identity for kernel speed.
 """
 
 from __future__ import annotations
