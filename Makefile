@@ -17,11 +17,12 @@ test-fast:
 chaos:
 	$(PYTHON) -m pytest tests/test_faults.py -v
 
-## Fast suite with line coverage for the engine + player packages
-## (requires pytest-cov; CI enforces the floor — see docs/TESTING.md).
+## Fast suite with line coverage for the engine + player + ml + training
+## packages (requires pytest-cov; CI enforces the floor — docs/TESTING.md).
 coverage:
 	$(PYTHON) -m pytest tests/ -q -m "not slow" \
 	    --cov=repro.engine --cov=repro.player \
+	    --cov=repro.ml --cov=repro.training \
 	    --cov-report=term --cov-fail-under=80
 
 ## Rewrite the golden-master fixtures (tests/golden/) from the serial

@@ -17,7 +17,10 @@ from PR to PR:
   SoA player stepping, memoised candidate trees, precomputed sessions),
   measured back to back in the same process;
 * **sessions/sec** — engine-path streaming sessions per second;
-* **decisions/sec** — planner decisions per second per ABR family.
+* **decisions/sec** — planner decisions per second per ABR family;
+* **rl_grid** — the same same-host serial-vs-lockstep ratio for
+  Pensieve-family cells (greedy and seeded-exploration), which exercise
+  the batched RL driver instead of the planner kernel.
 
 Run via ``make bench`` or
 ``PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py -v``.
@@ -64,6 +67,12 @@ MIN_GRID_SPEEDUP = 2.0
 #: run* (PR 5 records ~3x; PR 4's same-host figure was ~2.75x).  Same
 #: noise rationale as MIN_GRID_SPEEDUP — a floor, not the target.
 MIN_SPEEDUP_VS_SERIAL_ENGINE = 2.0
+
+#: Floor for the RL grid: the batched RL driver (one stacked actor forward
+#: per decision round across all co-scheduled sessions) must keep
+#: Pensieve-family cells at least this much faster than the serial
+#: per-session engine in the same run (~4.7x on the recording host).
+MIN_RL_SPEEDUP_VS_SERIAL_ENGINE = 2.0
 
 #: Timed measurement attempts per side (best-of): the quick grid runs in
 #: well under a second, so single samples are at the mercy of host noise.
@@ -271,6 +280,92 @@ def test_grid_speedup_vs_seed(context, bench_report):
         assert telemetry_seconds <= (
             engine_seconds * MAX_TELEMETRY_OVERHEAD + TELEMETRY_NOISE_FLOOR_S
         )
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.slow
+def test_rl_grid_speedup_vs_serial_engine(context, bench_report):
+    """RL grid: the batched RL driver vs the serial per-session engine.
+
+    Pensieve-family cells in both modes the lockstep core batches — greedy
+    (stacked forward + argmax) and seeded exploration (per-session RNG
+    streams) — over the full video x trace grid.  Results must stay
+    bitwise identical across backends; the same-host ratio is recorded as
+    ``rl_grid.speedup_vs_serial_engine`` with a >= 2x floor (target well
+    above — the recording host measures ~4.7x).
+    """
+    import numpy as np
+
+    from repro.abr.pensieve import PensieveABR, PensieveConfig
+    from repro.core.sensei_abr import make_sensei_pensieve
+    from repro.engine.runner import WorkOrder
+
+    sensei_explorer = make_sensei_pensieve(seed=23)
+    sensei_explorer.greedy = False
+    policies = [
+        ("Pensieve/greedy", PensieveABR(config=PensieveConfig(seed=21)),
+         False, False),
+        ("SENSEI-Pensieve/greedy", make_sensei_pensieve(seed=23),
+         True, False),
+        ("Pensieve/explore", PensieveABR(config=PensieveConfig(seed=21),
+                                         greedy=False), False, True),
+        ("SENSEI-Pensieve/explore", sensei_explorer, True, True),
+    ]
+    orders = []
+    for which, (_, abr, use_weights, explore) in enumerate(policies):
+        for v, encoded in enumerate(context.videos()):
+            weights = (
+                context.weights(encoded.source.video_id)
+                if use_weights else None
+            )
+            for t, trace in enumerate(context.traces()):
+                orders.append(WorkOrder(
+                    abr=abr, encoded=encoded, trace=trace,
+                    chunk_weights=weights,
+                    exploration_seed=(
+                        1000 + which * 100 + v * 10 + t if explore else None
+                    ),
+                ))
+
+    serial_runner = BatchRunner(backend="serial")
+    lockstep_runner = BatchRunner(backend="lockstep")
+    serial_results = serial_runner.run_orders(orders)   # warm + reference
+    lockstep_results = lockstep_runner.run_orders(orders)
+    for left, right in zip(serial_results, lockstep_results):
+        assert np.array_equal(left.rendered.levels, right.rendered.levels)
+        assert np.array_equal(
+            left.rendered.stalls_s, right.rendered.stalls_s
+        )
+        assert left.session_duration_s == right.session_duration_s
+
+    serial_seconds = float("inf")
+    engine_seconds = float("inf")
+    for _ in range(MEASUREMENT_ATTEMPTS):
+        t0 = time.perf_counter()
+        serial_runner.run_orders(orders)
+        serial_seconds = min(serial_seconds, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        lockstep_runner.run_orders(orders)
+        engine_seconds = min(engine_seconds, time.perf_counter() - t0)
+
+    speedup = serial_seconds / engine_seconds
+    bench_report.rl_grid = {
+        "scale": context.scale.name,
+        "cells": len(orders),
+        "families": sorted({name for name, *_ in policies}),
+        "primary_metric": "speedup_vs_serial_engine",
+        "speedup_vs_serial_engine": round(speedup, 2),
+        "serial_engine_seconds": round(serial_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "min_speedup": MIN_RL_SPEEDUP_VS_SERIAL_ENGINE,
+    }
+    print(
+        f"\nrl grid: serial engine {serial_seconds:.3f}s -> batched RL "
+        f"driver {engine_seconds:.3f}s ({speedup:.2f}x same-host, "
+        f"{len(orders)} cells)"
+    )
+    if context.scale.name != "tiny":
+        assert speedup >= MIN_RL_SPEEDUP_VS_SERIAL_ENGINE
 
 
 @pytest.mark.benchmark(group="engine")

@@ -20,11 +20,19 @@ overhead once per *session*.  The lockstep core runs a whole shard of
   :func:`~repro.abr.planner.evaluate_candidates_batch` scores one stacked
   ``(session x stall x scenario x candidate)`` tensor per candidate-tree
   group;
-* every other ABR (BBA, rate-based, greedy RL policies, …) runs through a
-  generic per-session driver: one reset clone of the ABR per session,
-  decisions taken one session at a time against observations served from
-  the shard rows — the exact observations the serial path builds —
-  still amortising the shared SoA chunk-step.
+* the Pensieve-family RL policies (greedy *and* exploration mode) run
+  through a dedicated batched driver: per-session states are encoded
+  straight off the SoA shard arrays, the actor MLP runs one forward per
+  decision round across the whole group (row-stable matmuls — see
+  :func:`repro.ml.nn.row_matmul`), greedy actions are per-row argmaxes
+  and sampled actions draw from per-session RNG streams pinned by each
+  order's ``exploration_seed``;
+* every other ABR (BBA, rate-based, RL subclasses with overridden
+  ``decide``, …) runs through a generic per-session driver: one reset
+  clone of the ABR per session, decisions taken one session at a time
+  against observations served from the shard rows — the exact
+  observations the serial path builds — still amortising the shared SoA
+  chunk-step.
 
 Bit-identity rests on elementwise-only numpy arithmetic: the planners
 route through the same batch kernel as serial with a one-session stack,
@@ -37,12 +45,18 @@ and the golden masters under ``tests/golden/``.
 Sessions end at different chunk counts (ragged shards): finished sessions
 simply leave the live set while the rest keep stepping.
 
-The one ABR family lockstep refuses is exploration-mode RL policies
-(``greedy=False``): their action sampling consumes a *shared* RNG stream
-session after session under the serial backend, which no parallel
-decomposition can reproduce.  Those orders run serially, exactly as before
-(the training subsystem already handles them with per-episode reseeding —
-see :meth:`repro.ml.rl.ActorCriticAgent.reseed_exploration`).
+Exploration-mode RL (``greedy=False``) is batchable only when each work
+order pins a per-session RNG stream via
+:attr:`~repro.engine.runner.WorkOrder.exploration_seed`: the serial path
+then reseeds the agent (:meth:`repro.ml.rl.ActorCriticAgent.
+reseed_exploration`) immediately before the session, and the lockstep
+driver gives the row its own ``rng_from_seed(exploration_seed)`` stream —
+the same generator state drawing from bitwise-equal probability rows, so
+the trajectories match checkpoint for checkpoint (fuzzed in
+``tests/test_rl_batch.py``).  *Unseeded* exploration orders keep the old
+serial fallback: their serial results depend on one RNG stream shared
+across sessions in submission order, which no parallel decomposition can
+reproduce.
 """
 
 from __future__ import annotations
@@ -74,18 +88,55 @@ from repro.abr.throughput import (
     ErrorDistributionPredictor,
     HarmonicMeanPredictor,
 )
-from repro.core.sensei_abr import SenseiFuguABR
+from repro.abr import pensieve as _pensieve
+from repro.abr.pensieve import PensieveABR
+from repro.core.sensei_abr import SenseiFuguABR, SenseiPensieveABR
+from repro.ml.rl import ActorCriticAgent
 from repro.player.session import StreamingSession, StreamResult
 from repro.player.shard import ShardState
+from repro.utils.rand import rng_from_seed
+from repro.utils.validation import require
 
 
 def supports_lockstep(abr: ABRAlgorithm) -> bool:
-    """Whether lockstep execution reproduces serial results for this ABR.
+    """Whether lockstep reproduces serial results for this ABR *on its own*.
 
     False only for exploration-mode (``greedy=False``) RL policies, whose
-    serial results depend on one RNG stream shared across sessions.
+    serial results depend on one RNG stream shared across sessions.  Such
+    an ABR can still run in lockstep when its *work order* pins a
+    per-session stream — see :func:`order_supports_lockstep`, the check
+    the engine actually applies.
     """
     return bool(getattr(abr, "greedy", True))
+
+
+def _is_batched_rl(abr: ABRAlgorithm) -> bool:
+    """Whether ``abr`` is a stock Pensieve-family policy the dedicated
+    batched RL driver reproduces exactly (exact types only: a subclass may
+    override ``encode_state``/``decide``)."""
+    return (
+        type(abr) in (PensieveABR, SenseiPensieveABR)
+        and type(getattr(abr, "agent", None)) is ActorCriticAgent
+    )
+
+
+def order_supports_lockstep(order: "WorkOrder") -> bool:
+    """Whether lockstep execution reproduces serial results for this order.
+
+    Greedy ABRs always qualify.  Exploration-mode RL qualifies exactly when
+    the order pins a per-session RNG stream (``exploration_seed``) *and*
+    the policy is a stock Pensieve-family agent: the serial path then
+    reseeds the agent before the session, so the batched driver's
+    ``rng_from_seed(exploration_seed)`` row stream replays it bit for bit.
+    Unseeded exploration orders (or exotic RL subclasses) keep the serial
+    fallback.
+    """
+    if supports_lockstep(order.abr):
+        return True
+    return (
+        getattr(order, "exploration_seed", None) is not None
+        and _is_batched_rl(order.abr)
+    )
 
 
 def run_orders_lockstep(
@@ -115,7 +166,7 @@ def run_orders_lockstep(
     results: List[Optional[StreamResult]] = [None] * len(orders)
     shards: Dict[object, List[int]] = {}
     for index, order in enumerate(orders):
-        if not supports_lockstep(order.abr):
+        if not order_supports_lockstep(order):
             results[index] = order.run()
             continue
         shards.setdefault(order.config, []).append(index)
@@ -159,7 +210,78 @@ def run_orders_lockstep(
     return results
 
 
-def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
+def run_rl_rollouts_lockstep(
+    orders: Sequence["WorkOrder"],
+    fault_log: Optional[FaultLog] = None,
+) -> Tuple[List[StreamResult], List[List[Tuple[np.ndarray, int]]]]:
+    """Run RL work orders in lockstep, capturing training trajectories.
+
+    The rollout collector's lockstep entry point: every order must be a
+    stock Pensieve-family policy with lockstep support at the order level
+    (greedy, or exploration-mode with a pinned ``exploration_seed``).
+    Returns ``(results, trajectories)``, both aligned with ``orders``;
+    each trajectory is the order's ``(state, action)`` list — bitwise what
+    the serial ``begin_capture()``/``end_capture()`` discipline records,
+    because the batched driver's states, probabilities and sampled actions
+    are bitwise the scalar path's (see :class:`_RLDriver`).
+
+    A shard that raises is recovered through the serial reference path —
+    reseed, capture, run — under a :class:`ShardRecoveryWarning`, exactly
+    mirroring :func:`run_orders_lockstep`'s recovery contract.
+    """
+    orders = list(orders)
+    for order in orders:
+        require(
+            _is_batched_rl(order.abr) and order_supports_lockstep(order),
+            "run_rl_rollouts_lockstep needs stock Pensieve-family orders "
+            "with lockstep support (greedy, or a pinned exploration_seed)",
+        )
+    results: List[Optional[StreamResult]] = [None] * len(orders)
+    trajectories: List[Optional[List[Tuple[np.ndarray, int]]]] = (
+        [None] * len(orders)
+    )
+    shards: Dict[object, List[int]] = {}
+    for index, order in enumerate(orders):
+        shards.setdefault(order.config, []).append(index)
+    for shard_index, indices in enumerate(shards.values()):
+        shard_orders = [orders[index] for index in indices]
+        capture: Dict[int, List[Tuple[np.ndarray, int]]] = {
+            row: [] for row in range(len(shard_orders))
+        }
+        try:
+            with trace_span("engine.lockstep.shard"):
+                shard_results = _run_shard(shard_orders, capture=capture)
+        except Exception as error:
+            warnings.warn(
+                f"lockstep: rollout shard {shard_index} "
+                f"({len(shard_orders)} orders) failed with {error!r}; "
+                "re-running its orders serially",
+                ShardRecoveryWarning,
+                stacklevel=2,
+            )
+            if fault_log is not None:
+                if isinstance(error, SimulatedWorkerCrash):
+                    fault_log.worker_crashes += 1
+                fault_log.serial_fallbacks += 1
+                fault_log.record(
+                    f"lockstep rollout shard {shard_index} recovered "
+                    f"serially after {type(error).__name__}"
+                )
+            shard_results = []
+            for row, order in enumerate(shard_orders):
+                order.abr.begin_capture()
+                shard_results.append(order.run())
+                capture[row] = order.abr.end_capture()
+        for row, index in enumerate(indices):
+            results[index] = shard_results[row]
+            trajectories[index] = capture[row]
+    return results, trajectories
+
+
+def _run_shard(
+    orders: Sequence["WorkOrder"],
+    capture: Optional[Dict[int, List[Tuple[np.ndarray, int]]]] = None,
+) -> List[StreamResult]:
     """Run one shard of orders (shared player config) in lockstep.
 
     The *stepping* — download times, buffer evolution, stall accounting,
@@ -177,6 +299,11 @@ def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
     that lets lockstep batch one family.  Sessions are independent (every
     serial session starts with ``abr.reset()``), so interleaving groups
     in one shard cannot change any result.
+
+    ``capture``, when given, maps row index -> list; RL drivers append
+    each row's ``(state, action)`` pairs to it — the lockstep counterpart
+    of :meth:`PensieveABR.begin_capture`, used by the training rollout
+    collector (:func:`run_rl_rollouts_lockstep`).
     """
     sessions = [
         StreamingSession(
@@ -195,9 +322,17 @@ def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
         groups.setdefault(id(order.abr), []).append(row)
         abrs[id(order.abr)] = order.abr
     drivers = [
-        (np.array(rows, dtype=int), _driver_for(abrs[abr_id], shard))
+        (np.array(rows, dtype=int), _driver_for(abrs[abr_id], shard, orders))
         for abr_id, rows in groups.items()
     ]
+    if capture is not None:
+        for _, driver in drivers:
+            require(
+                isinstance(driver, _RLDriver),
+                "trajectory capture requires every order to use the "
+                "batched RL driver",
+            )
+            driver.capture = capture
     live = shard.live_rows
     num_chunks = shard.num_chunks
     while live.size:
@@ -238,15 +373,22 @@ def _run_shard(orders: Sequence["WorkOrder"]) -> List[StreamResult]:
     ]
 
 
-def _driver_for(abr: ABRAlgorithm, shard: ShardState):
+def _driver_for(
+    abr: ABRAlgorithm, shard: ShardState, orders: Sequence["WorkOrder"] = (),
+):
     """The most batched driver that still reproduces ``abr.decide`` exactly.
 
     Exact-type checks: a subclass may override ``decide``, so anything not
-    literally one of the three planner classes (with its stock predictor and
-    the fast planner enabled) takes the generic per-session path.
+    literally one of the three planner classes (with its stock predictor
+    and the fast planner enabled), one of the two Pensieve RL classes
+    (with the stock actor–critic agent) or BBA takes the generic
+    per-session path.  ``orders`` carries the shard's work orders so the
+    RL driver can read per-row exploration seeds.
     """
     if type(abr) is BufferBasedABR:
         return _BBADriver(abr, shard)
+    if _is_batched_rl(abr):
+        return _RLDriver(abr, shard, orders)
     if getattr(abr, "use_fast_planner", False):
         if (
             type(abr) is ModelPredictiveABR
@@ -339,6 +481,158 @@ class _BBADriver:
             np.where(buffer_s >= reservoir + cushion, self.highest[rows], ramp),
         )
         return levels, np.zeros(rows.size)
+
+
+class _RLDriver:
+    """Batched Pensieve-family actor–critic policies over the shard rows.
+
+    Mirrors :meth:`PensieveABR.decide` exactly, batched:
+
+    * the state rows are encoded straight off the SoA shard arrays with
+      the same elementwise arithmetic :meth:`PensieveABR.encode_state`
+      applies to one observation (padding included — the shard's zero
+      padding coincides with the scalar encoder's zero fills);
+    * one :meth:`ActorCriticAgent.action_probabilities_batch` call per
+      decision round replaces per-session forwards; its rows are bitwise
+      the scalar probabilities because every actor matmul is row-stable
+      (:func:`repro.ml.nn.row_matmul`) and the softmax reduces rows
+      independently;
+    * greedy policies take per-row argmaxes (same first-max tie break as
+      the scalar ``np.argmax``); exploration policies draw each row's
+      action from a private ``rng_from_seed(order.exploration_seed)``
+      stream — the very generator state the serial path's pre-session
+      ``reseed_exploration`` produces, consuming bitwise-equal
+      probability rows, hence identical trajectories.
+
+    The agent is read-only here: clones are unnecessary (greedy decide
+    touches no mutable agent state, and sampling never touches the shared
+    ``agent._rng``), so one driver serves every row of the instance group.
+
+    Setting :attr:`capture` to a ``row -> list`` mapping records each
+    row's ``(state, action)`` pairs, exactly like the scalar capture hook
+    the trainer uses.
+    """
+
+    def __init__(
+        self,
+        abr: PensieveABR,
+        shard: ShardState,
+        orders: Sequence["WorkOrder"],
+    ) -> None:
+        self.abr = abr
+        self.shard = shard
+        self.agent = abr.agent
+        self.cfg = abr.config
+        self.greedy = bool(abr.greedy)
+        self.stall_options = np.asarray(self.cfg.stall_actions_s, dtype=float)
+        self.obs_horizon = shard.config.observation_horizon
+        # The scalar encoder writes the ladder's sizes into a
+        # cfg.num_levels-wide slot (and would raise on a wider ladder).
+        require(
+            int(shard.num_levels.max()) <= self.cfg.num_levels,
+            "ladder wider than the agent's next-chunk-size slot",
+        )
+        self.capture: Optional[Dict[int, List[Tuple[np.ndarray, int]]]] = None
+        self.rngs: Dict[int, object] = {}
+        if not self.greedy:
+            for row, order in enumerate(orders):
+                if order.abr is not abr:
+                    continue
+                require(
+                    order.exploration_seed is not None,
+                    "exploration-mode RL rows need per-order "
+                    "exploration seeds to run in lockstep",
+                )
+                self.rngs[row] = rng_from_seed(int(order.exploration_seed))
+
+    def _padded_history(self, history, rows: np.ndarray) -> np.ndarray:
+        """Rectangular histories left-padded/truncated to the agent's
+        window — the batched :func:`repro.abr.base.pad_history`."""
+        matrix = history.matrix(rows)
+        width = matrix.shape[1]
+        length = self.cfg.history_length
+        if width >= length:
+            return matrix[:, width - length:]
+        padded = np.zeros((rows.size, length))
+        if width:
+            padded[:, length - width:] = matrix
+        return padded
+
+    def _encode_batch(self, rows: np.ndarray) -> np.ndarray:
+        """(len(rows), state_dim) states, row ``i`` bitwise equal to the
+        scalar ``encode_state(shard.observe(rows[i]))``."""
+        shard = self.shard
+        cfg = self.cfg
+        chunk = shard.step_index
+        n = rows.size
+        throughput = (
+            self._padded_history(shard.throughput_history, rows)
+            / _pensieve._THROUGHPUT_SCALE_MBPS
+        )
+        download_times = (
+            self._padded_history(shard.download_time_history, rows)
+            / _pensieve._DOWNLOAD_TIME_SCALE_S
+        )
+        next_sizes = np.zeros((n, cfg.num_levels))
+        filled = shard.sizes_all.shape[2]
+        next_sizes[:, :filled] = (
+            shard.sizes_all[rows, chunk] / _pensieve._CHUNK_SIZE_SCALE_BYTES
+        )
+        num_chunks = shard.num_chunks[rows]
+        scalars = np.empty((n, 3))
+        scalars[:, 0] = shard.buffer_s[rows] / _pensieve._BUFFER_SCALE_S
+        scalars[:, 1] = (shard.last_levels(rows) + 1) / shard.num_levels[rows]
+        scalars[:, 2] = (num_chunks - chunk) / num_chunks
+        parts = [throughput, download_times, next_sizes, scalars]
+        if cfg.weight_horizon > 0:
+            weights = np.ones((n, cfg.weight_horizon))
+            weights_all = shard.weights_all
+            for offset in range(min(cfg.weight_horizon, self.obs_horizon)):
+                valid = chunk + offset < num_chunks
+                if not np.any(valid):
+                    break
+                weights[valid, offset] = weights_all[
+                    rows[valid], chunk + offset
+                ]
+            parts.append(weights)
+        states = np.concatenate(parts, axis=1)
+        require(
+            states.shape[1] == cfg.state_dim, "state encoding size mismatch"
+        )
+        return states
+
+    def decide(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        states = self._encode_batch(rows)
+        probabilities = self.agent.action_probabilities_batch(states)
+        cfg = self.cfg
+        if self.greedy:
+            actions = np.argmax(probabilities, axis=1)
+        else:
+            actions = np.empty(rows.size, dtype=int)
+            num_actions = cfg.num_actions
+            for position, row in enumerate(rows):
+                actions[position] = int(
+                    self.rngs[int(row)].choice(
+                        num_actions, p=probabilities[position]
+                    )
+                )
+        # A stall action keeps streaming at the previously chosen level —
+        # the scalar decide()'s post-processing, vectorised.
+        is_stall = actions >= cfg.num_levels
+        levels = np.where(
+            is_stall, np.maximum(self.shard.last_levels(rows), 0), actions
+        )
+        stalls = np.zeros(rows.size)
+        if self.stall_options.size and np.any(is_stall):
+            stalls[is_stall] = self.stall_options[
+                actions[is_stall] - cfg.num_levels
+            ]
+        if self.capture is not None:
+            for position, row in enumerate(rows):
+                self.capture[int(row)].append(
+                    (states[position].copy(), int(actions[position]))
+                )
+        return levels, stalls
 
 
 class _HarmonicMeanState:

@@ -104,6 +104,10 @@ class BenchReport:
     sessions_per_sec: float = 0.0
     decisions_per_sec: Dict[str, float] = field(default_factory=dict)
     grid: Dict[str, float] = field(default_factory=dict)
+    #: RL (Pensieve-family) grid timings: the batched-RL-driver lockstep
+    #: engine versus the serial per-session engine on the same cells, same
+    #: run — the RL counterpart of ``grid.speedup_vs_serial_engine``.
+    rl_grid: Dict[str, object] = field(default_factory=dict)
     plan_cache: Dict[str, int] = field(default_factory=dict)
     fault_log: Dict[str, object] = field(default_factory=dict)
     phases: Dict[str, object] = field(default_factory=dict)

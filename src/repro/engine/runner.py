@@ -106,6 +106,15 @@ class WorkOrder:
     trace: the throughput trace to stream over.
     config: optional player configuration.
     chunk_weights: optional per-chunk sensitivity weights.
+    exploration_seed: optional per-order RNG seed for exploration-mode RL
+        policies.  When set, the order reseeds the agent's exploration
+        stream (``agent.reseed_exploration``) immediately before the
+        session runs, making the trajectory a pure function of
+        (checkpoint, seed) — independent of execution order.  That is the
+        contract that lets the lockstep core batch exploration-mode RL:
+        it gives each row its own ``rng_from_seed(exploration_seed)``
+        stream and reproduces this serial path bit for bit.  Orders whose
+        ABR has no exploration stream ignore the field.
     """
 
     abr: ABRAlgorithm
@@ -113,9 +122,14 @@ class WorkOrder:
     trace: ThroughputTrace
     config: Optional[SessionConfig] = None
     chunk_weights: Optional[np.ndarray] = None
+    exploration_seed: Optional[int] = None
 
     def run(self) -> StreamResult:
         """Execute the order and return the session result."""
+        if self.exploration_seed is not None:
+            agent = getattr(self.abr, "agent", None)
+            if agent is not None and hasattr(agent, "reseed_exploration"):
+                agent.reseed_exploration(int(self.exploration_seed))
         session = StreamingSession(
             encoded=self.encoded,
             trace=self.trace,

@@ -17,6 +17,28 @@ from repro.utils.rand import rng_from_seed
 from repro.utils.validation import require
 
 
+def row_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Matrix product ``x @ w`` with a *row-stable* summation order.
+
+    Contract: row ``i`` of ``row_matmul(X, W)`` is bitwise equal to
+    ``row_matmul(X[i:i+1], W)`` (and to the 1-D ``row_matmul(X[i], W)``)
+    for every batch size, dtype, and row stride.  Plain ``@`` does not
+    guarantee this — BLAS gemm blocks/vectorises the reduction differently
+    for ``(N, D) @ (D, H)`` than for a single row, so batching changes the
+    float summation order and therefore the low bits.  ``np.einsum`` with
+    an explicit reduction subscript keeps one fixed per-row loop order
+    regardless of batch shape, which is what lets the batched RL driver be
+    bit-identical to the scalar path *by construction*.
+
+    Accepts 1-D ``x`` (one row) or 2-D ``x`` (a batch of rows).
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if x.ndim == 1:
+        return np.einsum("d,dh->h", x, w)
+    return np.einsum("nd,dh->nh", x, w)
+
+
 def relu(x: np.ndarray) -> np.ndarray:
     """Rectified linear unit."""
     return np.maximum(0.0, x)
@@ -141,7 +163,14 @@ class MLP:
         self.num_layers = len(dims) - 1
 
     def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
-        """Forward pass; returns (outputs, cached pre-activations/activations)."""
+        """Forward pass; returns (outputs, cached pre-activations/activations).
+
+        Accepts a single state vector (1-D) or a batch of states (2-D, one
+        row per state).  The matmuls go through :func:`row_matmul`, so row
+        ``i`` of a batched forward is bitwise equal to the scalar forward of
+        row ``i`` alone — the invariant the lockstep RL driver and the
+        differential suite in ``tests/test_rl_batch.py`` rely on.
+        """
         x = np.asarray(inputs, dtype=float)
         single = x.ndim == 1
         if single:
@@ -149,7 +178,7 @@ class MLP:
         cache: List[np.ndarray] = [x]
         activation = x
         for layer in range(self.num_layers):
-            pre = activation @ self.parameters[f"W{layer}"] + self.parameters[f"b{layer}"]
+            pre = row_matmul(activation, self.parameters[f"W{layer}"]) + self.parameters[f"b{layer}"]
             cache.append(pre)
             if layer < self.num_layers - 1:
                 activation = relu(pre)

@@ -186,6 +186,22 @@ class ActorCriticAgent:
         logits, _ = self.actor.forward(state)
         return softmax(logits)
 
+    def action_probabilities_batch(self, states: np.ndarray) -> np.ndarray:
+        """Policy distributions for a ``(batch, state_dim)`` matrix of states.
+
+        Row ``i`` is bitwise equal to ``action_probabilities(states[i])``:
+        the actor's matmuls are row-stable (:func:`repro.ml.nn.row_matmul`)
+        and the softmax reduces each row independently with ``axis=-1``
+        max/sum, so batching never reorders any float reduction.  An empty
+        batch returns a ``(0, num_actions)`` matrix.
+        """
+        states = np.asarray(states, dtype=float)
+        require(states.ndim == 2, "states must be a (batch, state_dim) matrix")
+        if states.shape[0] == 0:
+            return np.zeros((0, self.config.num_actions))
+        logits, _ = self.actor.forward(states)
+        return softmax(logits)
+
     def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
         """Sample an action (or take the argmax when ``greedy``)."""
         probabilities = self.action_probabilities(state)

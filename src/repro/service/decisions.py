@@ -6,7 +6,14 @@ exact-type test as the lockstep engine's ``_driver_for``) contributes a
 :class:`~repro.engine.lockstep.PlanJob` to one
 :func:`~repro.engine.lockstep.plan_batch` call, which merges jobs by
 candidate-tree signature and dispatches the shared
-``evaluate_candidates_batch`` kernel.  Everything else falls back to the
+``evaluate_candidates_batch`` kernel.  Greedy stock Pensieve-family
+sessions (``KIND_RL``) batch differently: their clones share one
+:class:`~repro.ml.rl.ActorCriticAgent` (see
+:class:`~repro.service.sessions.SessionEntry`), so the flush groups them
+by agent, stacks their encoded states, and runs **one actor forward per
+policy** followed by a per-row argmax — bitwise the serial ``decide``
+because the actor's matmuls are row-stable
+(:func:`repro.ml.nn.row_matmul`).  Everything else falls back to the
 clone's own ``decide`` — still exact, just not batched.
 
 Bit-identity invariants, each load-bearing:
@@ -46,6 +53,7 @@ from repro.engine.lockstep import PlanJob, plan_batch
 from repro.service.sessions import (
     KIND_GENERIC,
     KIND_MPC,
+    KIND_RL,
     KIND_SENSEI,
 )
 
@@ -65,9 +73,18 @@ def decide_batch(
     jobs: List[PlanJob] = []
     # (request index, clone, kind, observation, horizon, scenarios)
     meta: List[Tuple[int, ABRAlgorithm, str, PlayerObservation, int, list]] = []
+    # agent id -> (agent, [(request index, clone, observation, state)])
+    rl_groups: dict = {}
     for index, (clone, kind, observation) in enumerate(requests):
         if kind == KIND_GENERIC:
             decisions[index] = clone.decide(observation)
+            continue
+        if kind == KIND_RL:
+            agent = clone.agent
+            group = rl_groups.setdefault(id(agent), (agent, []))
+            group[1].append(
+                (index, clone, observation, clone.encode_state(observation))
+            )
             continue
         horizon = min(clone.horizon, observation.horizon)
         if kind == KIND_MPC:
@@ -104,8 +121,28 @@ def decide_batch(
             ))
         meta.append((index, clone, kind, observation, horizon, scenarios))
 
+    # One stacked actor forward per distinct policy, then a per-row argmax
+    # — exactly ``select_action(state, greedy=True)`` for each row, since
+    # the batched forward is row-bitwise-stable.  The stall post-processing
+    # replicates the serial ``decide`` body verbatim.
+    for agent, group in rl_groups.values():
+        states = np.stack([state for _, _, _, state in group])
+        probabilities = agent.action_probabilities_batch(states)
+        actions = np.argmax(probabilities, axis=1)
+        for (index, clone, observation, state), action in zip(group, actions):
+            decision = clone.action_to_decision(int(action))
+            if decision.proactive_stall_s > 0:
+                previous = max(observation.last_level, 0)
+                decision = Decision(
+                    level=previous,
+                    proactive_stall_s=decision.proactive_stall_s,
+                )
+            if clone._capture is not None:
+                clone._capture.append((state, int(action)))
+            decisions[index] = decision
+
     if not jobs:
-        return [decision for decision in decisions]  # all generic
+        return [decision for decision in decisions]  # all planned
 
     results = plan_batch(jobs)
 

@@ -27,11 +27,13 @@ import numpy as np
 from repro.abr.base import ABRAlgorithm
 from repro.abr.mpc import ModelPredictiveABR
 from repro.abr.fugu import FuguABR
+from repro.abr.pensieve import PensieveABR
 from repro.abr.throughput import (
     ErrorDistributionPredictor,
     HarmonicMeanPredictor,
 )
-from repro.core.sensei_abr import SenseiFuguABR
+from repro.core.sensei_abr import SenseiFuguABR, SenseiPensieveABR
+from repro.ml.rl import ActorCriticAgent
 from repro.engine.runner import WorkOrder
 from repro.network.trace import ThroughputTrace
 from repro.player.session import (
@@ -45,6 +47,7 @@ __all__ = [
     "KIND_FUGU",
     "KIND_GENERIC",
     "KIND_MPC",
+    "KIND_RL",
     "KIND_SENSEI",
     "SessionEntry",
     "SessionKey",
@@ -54,18 +57,20 @@ __all__ = [
 
 SessionKey = Tuple[str, str]
 
-#: Planner-eligible ABR kinds, mirroring the lockstep engine's
+#: Batch-eligible ABR kinds, mirroring the lockstep engine's
 #: ``_driver_for`` exact-type checks: anything else (BBA, rate-based,
-#: subclasses with overridden ``decide``, RL policies) takes the generic
-#: per-clone ``decide`` path, which is trivially serial-identical.
+#: subclasses with overridden ``decide``, exploring RL policies) takes
+#: the generic per-clone ``decide`` path, which is trivially
+#: serial-identical.
 KIND_GENERIC = "generic"
 KIND_MPC = "mpc"
 KIND_FUGU = "fugu"
 KIND_SENSEI = "sensei"
+KIND_RL = "rl"
 
 
 def planner_kind(abr: ABRAlgorithm) -> str:
-    """Which batched-planner path (if any) reproduces ``abr.decide``."""
+    """Which batched decide path (if any) reproduces ``abr.decide``."""
     if getattr(abr, "use_fast_planner", False):
         if (
             type(abr) is ModelPredictiveABR
@@ -82,6 +87,16 @@ def planner_kind(abr: ABRAlgorithm) -> str:
             and type(abr.predictor) is ErrorDistributionPredictor
         ):
             return KIND_SENSEI
+    if (
+        type(abr) in (PensieveABR, SenseiPensieveABR)
+        and type(getattr(abr, "agent", None)) is ActorCriticAgent
+        and getattr(abr, "greedy", False)
+    ):
+        # Greedy stock Pensieve-family policies decide via an argmax over
+        # a row-stable actor forward (repro.ml.nn.row_matmul), so stacked
+        # inference is bitwise the serial decide.  Exploration-mode clones
+        # stay generic: the service has no per-decision seed to pin.
+        return KIND_RL
     return KIND_GENERIC
 
 
@@ -109,6 +124,13 @@ class SessionEntry:
         self.clone = copy.deepcopy(abr)
         self.clone.reset()
         self.kind = planner_kind(abr)
+        if self.kind == KIND_RL:
+            # Greedy decide only *reads* the agent (one actor forward +
+            # argmax), so every clone of the same policy can share the
+            # caller's agent: the batched decide path groups sessions by
+            # agent identity to stack their forwards, and N sessions stop
+            # paying N copies of the network parameters.
+            self.clone.agent = abr.agent
         self.session = session
         self.state = session.make_state()
         self.evicted = False

@@ -11,6 +11,14 @@ in deterministic spec order.  Because an episode is a pure function of
 :class:`~repro.engine.runner.BatchRunner` preserves submission order, the
 serial and process backends produce byte-identical experience, and
 therefore byte-identical trained policies.
+
+A lockstep runner routes collection through the batched RL driver
+(:func:`repro.engine.lockstep.run_rl_rollouts_lockstep`): the whole round's
+episodes step together as one SoA shard, the actor forward runs once per
+decision round across the batch, and each episode samples from its own
+``rng_from_seed(spec.seed)`` stream — the same stream the serial
+``reseed_exploration(spec.seed)`` discipline produces, so the experience
+stays byte-identical across all three backends.
 """
 
 from __future__ import annotations
@@ -128,25 +136,70 @@ def collect_shard(shard: RolloutShard) -> List[EpisodeRollout]:
             abr, spec.encoded, spec.trace, chunk_weights=spec.chunk_weights
         )
         trajectory = abr.end_capture()
-        chunk_scores = quality_model.chunk_scores(result.rendered)
-        if spec.chunk_weights is not None:
-            chunk_scores = np.asarray(spec.chunk_weights, dtype=float) * chunk_scores
-        require(
-            len(trajectory) == chunk_scores.shape[0],
-            "one decision per chunk expected",
-        )
-        states = np.stack([state for state, _ in trajectory])
-        actions = np.asarray([action for _, action in trajectory], dtype=int)
         rollouts.append(
-            EpisodeRollout(
-                states=states,
-                actions=actions,
-                rewards=np.asarray(chunk_scores, dtype=float),
-                regime=spec.regime,
-                seed=spec.seed,
-            )
+            _rollout_from_trajectory(quality_model, spec, result, trajectory)
         )
     return rollouts
+
+
+def _rollout_from_trajectory(
+    quality_model, spec: EpisodeSpec, result, trajectory
+) -> EpisodeRollout:
+    """Package one episode's (state, action) pairs and rewards — shared by
+    the serial/process and lockstep collection paths, so both ship
+    identical :class:`EpisodeRollout`\\ s for identical inputs."""
+    chunk_scores = quality_model.chunk_scores(result.rendered)
+    if spec.chunk_weights is not None:
+        chunk_scores = np.asarray(spec.chunk_weights, dtype=float) * chunk_scores
+    require(
+        len(trajectory) == chunk_scores.shape[0],
+        "one decision per chunk expected",
+    )
+    states = np.stack([state for state, _ in trajectory])
+    actions = np.asarray([action for _, action in trajectory], dtype=int)
+    return EpisodeRollout(
+        states=states,
+        actions=actions,
+        rewards=np.asarray(chunk_scores, dtype=float),
+        regime=spec.regime,
+        seed=spec.seed,
+    )
+
+
+def collect_shard_lockstep(shard: RolloutShard) -> List[EpisodeRollout]:
+    """Simulate a shard's episodes through the lockstep batched RL driver.
+
+    The lockstep counterpart of :func:`collect_shard`: one policy instance
+    serves every episode (the batched driver never touches shared mutable
+    agent state — see :class:`repro.engine.lockstep._RLDriver`), each
+    episode's work order pins ``exploration_seed=spec.seed``, and the
+    driver captures the ``(state, action)`` trajectories the scalar
+    capture hook would have recorded.  Byte-identical to
+    :func:`collect_shard` for the same specs and snapshot.
+    """
+    from repro.engine.lockstep import run_rl_rollouts_lockstep
+    from repro.engine.runner import WorkOrder
+
+    abr = shard.snapshot.build()
+    abr.greedy = False
+    quality_model = abr.quality_model
+    orders = [
+        WorkOrder(
+            abr=abr,
+            encoded=spec.encoded,
+            trace=spec.trace,
+            chunk_weights=spec.chunk_weights,
+            exploration_seed=spec.seed,
+        )
+        for spec in shard.specs
+    ]
+    results, trajectories = run_rl_rollouts_lockstep(orders)
+    return [
+        _rollout_from_trajectory(quality_model, spec, result, trajectory)
+        for spec, result, trajectory in zip(
+            shard.specs, results, trajectories
+        )
+    ]
 
 
 class RolloutCollector:
@@ -183,15 +236,24 @@ class RolloutCollector:
         if not specs:
             return []
         snapshot = PolicySnapshot.of(abr)
-        shards = [
-            RolloutShard(
-                snapshot=snapshot,
-                specs=tuple(specs[start : start + self.shard_size]),
-            )
-            for start in range(0, len(specs), self.shard_size)
-        ]
+        if self.runner.backend == "lockstep":
+            # In-process batched collection: one shard spanning the whole
+            # round lets the lockstep RL driver stack every episode's
+            # forward pass (per-spec seeds keep episodes independent of
+            # the sharding, so results stay byte-identical).
+            shards = [RolloutShard(snapshot=snapshot, specs=tuple(specs))]
+            collect_fn = collect_shard_lockstep
+        else:
+            shards = [
+                RolloutShard(
+                    snapshot=snapshot,
+                    specs=tuple(specs[start : start + self.shard_size]),
+                )
+                for start in range(0, len(specs), self.shard_size)
+            ]
+            collect_fn = collect_shard
         with trace_span("training.collect"):
-            per_shard = self.runner.map_ordered(collect_shard, shards)
+            per_shard = self.runner.map_ordered(collect_fn, shards)
             merged: List[EpisodeRollout] = []
             for rollouts in per_shard:
                 merged.extend(rollouts)

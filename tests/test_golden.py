@@ -2,12 +2,18 @@
 
 ``tests/golden/stream_results.json`` pins the *bitwise* output of a small
 canonical session grid — every ABR family x two traces x proactive-stall
-mode on/off — as produced by the serial (seed-semantics) backend.  The
-test replays the grid through both the serial and the lockstep backend and
-fails on any drift: a single flipped bit in a level choice, a stall
-timestamp or a measured throughput is a red suite, because the whole value
-of the fast engine rests on trusting that its outputs are exactly the
-seed's (see docs/TESTING.md).
+mode on/off, plus genuinely *trained* Pensieve and SENSEI-Pensieve
+policies in both greedy and seeded-exploration mode — as produced by the
+serial (seed-semantics) backend.  The test replays the grid through both
+the serial and the lockstep backend and fails on any drift: a single
+flipped bit in a level choice, a stall timestamp or a measured throughput
+is a red suite, because the whole value of the fast engine rests on
+trusting that its outputs are exactly the seed's (see docs/TESTING.md).
+
+The trained-RL cells are the trust anchor for the lockstep engine's
+batched RL driver: greedy cells pin the stacked-forward/argmax path, and
+exploration cells (with a pinned ``WorkOrder.exploration_seed``) pin the
+per-session RNG streams that let exploring policies batch at all.
 
 Floats are serialised with ``float.hex()`` — lossless, so the comparison
 is bit-exact, not approximate.
@@ -19,6 +25,7 @@ Regenerating (only after an *intentional*, reviewed semantic change):
 
 from __future__ import annotations
 
+import copy
 import json
 import sys
 from pathlib import Path
@@ -93,6 +100,80 @@ def _chunk_weights(encoded, stall_mode: str):
     return np.where(np.arange(encoded.num_chunks) % 4 == 0, 3.0, 0.4)
 
 
+def _train_rl(abr, encoded, traces, chunk_weights, episode_seeds):
+    """A few genuine policy-gradient updates, deterministic by seeds.
+
+    Every episode is a pure function of (parameters, episode seed) — the
+    ``reseed_exploration`` discipline — so the resulting weights are fully
+    pinned by the seeds here and the grid stays reproducible.  Returned in
+    greedy mode.
+    """
+    from repro.ml.rl import EpisodeBuffer
+    from repro.player.simulator import simulate_session
+
+    abr.greedy = False
+    for seed in episode_seeds:
+        for trace in traces:
+            abr.agent.reseed_exploration(seed)
+            abr.begin_capture()
+            result = simulate_session(
+                abr, encoded, trace, chunk_weights=chunk_weights
+            )
+            trajectory = abr.end_capture()
+            rewards = abr.quality_model.chunk_scores(result.rendered)
+            if chunk_weights is not None:
+                rewards = np.asarray(chunk_weights, dtype=float) * rewards
+            abr.agent.train_on_episode(EpisodeBuffer.from_arrays(
+                np.stack([state for state, _ in trajectory]),
+                np.asarray([action for _, action in trajectory], dtype=int),
+                rewards,
+            ))
+    abr.greedy = True
+    return abr
+
+
+def _trained_rl_cells(encoded, traces):
+    """Trained Pensieve-family cells, greedy and seeded-exploration mode.
+
+    Greedy cells pin the batched stacked-forward/argmax path; exploration
+    cells pin the per-session RNG streams (``WorkOrder.exploration_seed``)
+    the lockstep RL driver replays.  Both backends must reproduce all of
+    them bitwise.
+    """
+    weights = _chunk_weights(encoded, "on")
+    trained = [
+        (None, _train_rl(
+            PensieveABR(config=PensieveConfig(seed=1220)),
+            encoded, traces, None, (1222, 1223),
+        )),
+        (weights, _train_rl(
+            make_sensei_pensieve(seed=1221),
+            encoded, traces, weights, (1224, 1225),
+        )),
+    ]
+    cells = []
+    for cell_weights, abr in trained:
+        explorer = copy.deepcopy(abr)
+        explorer.greedy = False
+        for index, trace in enumerate(traces):
+            cells.append((
+                f"{abr.name}-trained/{trace.name}/greedy",
+                WorkOrder(
+                    abr=abr, encoded=encoded, trace=trace,
+                    chunk_weights=cell_weights,
+                ),
+            ))
+            seed = 1230 + index
+            cells.append((
+                f"{abr.name}-trained/{trace.name}/explore-{seed}",
+                WorkOrder(
+                    abr=explorer, encoded=encoded, trace=trace,
+                    chunk_weights=cell_weights, exploration_seed=seed,
+                ),
+            ))
+    return cells
+
+
 def golden_orders():
     """The canonical (cell key, WorkOrder) grid, deterministic by seeds."""
     encoded = _encoded_video()
@@ -114,6 +195,7 @@ def golden_orders():
                         ),
                     )
                 )
+    cells.extend(_trained_rl_cells(encoded, traces))
     return cells
 
 
@@ -246,6 +328,33 @@ class TestGoldenMasters:
         assert any(
             any(event[0] == "rebuffer" for event in cell["stall_events"])
             for cell in golden_cells.values()
+        )
+
+    def test_grid_covers_trained_rl_both_modes(self, golden_cells):
+        """Trained RL coverage must not decay: both families, both modes.
+
+        The exploration cells are what pins the lockstep RL driver's
+        per-session RNG streams; losing them would let the sampling path
+        drift without a red suite.
+        """
+        for family in ("Pensieve-trained", "SENSEI-Pensieve-trained"):
+            greedy = [
+                key for key in golden_cells
+                if key.startswith(f"{family}/") and key.endswith("/greedy")
+            ]
+            explore = [
+                key for key in golden_cells
+                if key.startswith(f"{family}/") and "/explore-" in key
+            ]
+            assert greedy and explore, family
+        # Exploration must actually diverge from greedy somewhere, or the
+        # explore cells silently pin the same trajectories twice.
+        assert any(
+            golden_cells[greedy_key]["levels"] != golden_cells[explore_key]["levels"]
+            for greedy_key in golden_cells if greedy_key.endswith("/greedy")
+            for explore_key in golden_cells
+            if "/explore-" in explore_key
+            and explore_key.split("/")[:2] == greedy_key.split("/")[:2]
         )
 
 

@@ -25,6 +25,7 @@ from repro.abr.rate import RateBasedABR
 from repro.core.sensei_abr import SenseiFuguABR, make_sensei_pensieve
 from repro.engine.lockstep import (
     _PlannerDriverBase,
+    order_supports_lockstep,
     run_orders_lockstep,
     supports_lockstep,
 )
@@ -187,8 +188,9 @@ class TestLockstepEquivalence:
     def test_exploring_rl_policy_falls_back_to_serial_execution(
         self, ragged_grid
     ):
-        """greedy=False policies depend on one shared RNG stream: lockstep
-        must execute them serially (and say so via supports_lockstep)."""
+        """*Unseeded* greedy=False policies depend on one shared RNG stream
+        consumed across sessions: lockstep must execute them serially (and
+        say so via order_supports_lockstep)."""
         videos, traces, _ = ragged_grid
         explorer = PensieveABR(config=PensieveConfig(seed=3), greedy=False)
         assert not supports_lockstep(explorer)
@@ -196,11 +198,34 @@ class TestLockstepEquivalence:
             WorkOrder(abr=explorer, encoded=videos[0], trace=trace)
             for trace in traces
         ]
+        assert not any(order_supports_lockstep(order) for order in orders)
         # The exploration RNG is shared across sessions and consumed by
         # every run, so both backends must start it from the same state.
         explorer.agent.reseed_exploration(123)
         serial = BatchRunner(backend="serial").run_orders(orders)
         explorer.agent.reseed_exploration(123)
+        lockstep = BatchRunner(backend="lockstep").run_orders(orders)
+        for left, right in zip(serial, lockstep):
+            assert_results_identical(left, right)
+
+    def test_seeded_exploring_rl_policy_batches_in_lockstep(
+        self, ragged_grid
+    ):
+        """Pinning ``WorkOrder.exploration_seed`` lifts the fallback: each
+        session gets a private RNG stream, so the batched RL driver can
+        co-schedule exploring sessions and still match serial bitwise
+        (the full differential fuzz lives in tests/test_rl_batch.py)."""
+        videos, traces, _ = ragged_grid
+        explorer = PensieveABR(config=PensieveConfig(seed=3), greedy=False)
+        orders = [
+            WorkOrder(
+                abr=explorer, encoded=videos[0], trace=trace,
+                exploration_seed=900 + index,
+            )
+            for index, trace in enumerate(traces)
+        ]
+        assert all(order_supports_lockstep(order) for order in orders)
+        serial = BatchRunner(backend="serial").run_orders(orders)
         lockstep = BatchRunner(backend="lockstep").run_orders(orders)
         for left, right in zip(serial, lockstep):
             assert_results_identical(left, right)

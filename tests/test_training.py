@@ -240,6 +240,25 @@ class TestRolloutCollector:
             assert np.array_equal(a.actions, b.actions)
             assert np.array_equal(a.rewards, b.rewards)
 
+    def test_lockstep_backend_matches_serial(self, curriculum):
+        """The batched RL driver collects byte-identical experience: the
+        whole round steps as one SoA shard, yet every (state, action,
+        reward) array must equal the serial reseed-replay's exactly."""
+        specs = curriculum.training_specs(6, round_index=1)
+        abr = fresh_policy()
+        serial = RolloutCollector(
+            runner=BatchRunner(backend="serial"), shard_size=2
+        ).collect(abr, specs)
+        lockstep = RolloutCollector(
+            runner=BatchRunner(backend="lockstep"), shard_size=2
+        ).collect(abr, specs)
+        assert len(serial) == len(lockstep) == 6
+        for a, b in zip(serial, lockstep):
+            assert a.states.tobytes() == b.states.tobytes()
+            assert np.array_equal(a.actions, b.actions)
+            assert a.rewards.tobytes() == b.rewards.tobytes()
+            assert (a.seed, a.regime) == (b.seed, b.regime)
+
 
 # --------------------------------------------------------------- checkpoint
 
@@ -550,3 +569,57 @@ class TestGridIntegration:
             context.install_trained_agents(
                 sensei_pensieve=PensieveABR(config=PensieveConfig(seed=1))
             )
+
+
+# ----------------------------------------------------------------- pipeline
+
+
+class TestTrainingPipeline:
+    """End-to-end ``train_policies`` at micro scale — fast enough for
+    tier-1, and the backend-identity check that matters most: the whole
+    train → checkpoint → reload → grid pipeline must come out identical
+    whether rollouts are collected serially or through the lockstep
+    batched RL driver."""
+
+    MICRO = dict(rounds=1, episodes_per_round=2, eval_every=1, eval_episodes=1)
+
+    def _run(self, backend, tmp_path):
+        from repro.training.pipeline import train_policies
+
+        return train_policies(
+            seed=11,
+            checkpoint_root=tmp_path / backend,
+            runner=BatchRunner(backend=backend),
+            config=TrainerConfig(**self.MICRO),
+            verbose=False,
+        )
+
+    def test_lockstep_collection_matches_serial_end_to_end(self, tmp_path):
+        serial = self._run("serial", tmp_path)
+        lockstep = self._run("lockstep", tmp_path)
+        assert serial["backend"] == "serial"
+        assert lockstep["backend"] == "lockstep"
+        # Training trajectories, evaluations and the final checkpoint-backed
+        # grid are all floats: exact equality, not approx — byte-identical
+        # experience must yield byte-identical policies.
+        assert serial["policies"] == lockstep["policies"]
+        assert serial["grid_mean_qoe"] == lockstep["grid_mean_qoe"]
+        for name in ("pensieve-best", "sensei-pensieve-best"):
+            left = CheckpointStore(tmp_path / "serial").load(name)
+            right = CheckpointStore(tmp_path / "lockstep").load(name)
+            left_state = left.agent.state_dict()
+            right_state = right.agent.state_dict()
+            assert sorted(left_state) == sorted(right_state)
+            for key, value in left_state.items():
+                assert value.tobytes() == right_state[key].tobytes(), key
+
+    def test_report_schema(self, tmp_path):
+        report = self._run("lockstep", tmp_path)
+        for key in ("scale", "seed", "backend", "checkpoint_root",
+                    "policies", "grid_mean_qoe", "fault_log"):
+            assert key in report, key
+        for name in ("pensieve", "sensei-pensieve"):
+            policy = report["policies"][name]
+            assert policy["checkpoints"] == [f"{name}-best", f"{name}-final"]
+            assert policy["evaluations"]
+        assert set(report["grid_mean_qoe"]) >= {"Pensieve", "SENSEI-Pensieve"}
